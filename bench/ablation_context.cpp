@@ -1,0 +1,51 @@
+// Ablation — context length (DESIGN.md): the paper fixes the inference
+// window at context 111 + 1 for the Table II machine so every structural
+// stall source (IQ 32, ROB 40, LQ/SQ 16) is visible to the model. This
+// sweep shows the accuracy/cost trade-off: short contexts hide ROB/IQ
+// back-pressure (accuracy degrades), long contexts only add FLOPs.
+#include "bench_util.h"
+#include "core/analytic_predictor.h"
+#include "core/metrics.h"
+#include "core/parallel_sim.h"
+
+using namespace mlsim;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, 200000);
+  const std::string abbr = args.benchmark.empty() ? "mcf" : args.benchmark;
+  bench::banner("Ablation: context length vs accuracy and inference cost",
+                "benchmark " + abbr + ", " + std::to_string(args.instructions) +
+                    " instructions (machine: IQ 32 / ROB 40)");
+
+  const auto tr = core::labeled_trace(abbr, args.instructions);
+  const double truth =
+      static_cast<double>(core::total_cycles_from_targets(tr)) /
+      static_cast<double>(tr.size());
+  core::AnalyticPredictor pred;
+  const device::GpuSpec a100 = device::GpuSpec::a100();
+
+  Table t({"context", "CPI error vs truth %", "inference us (modeled)",
+           "note"});
+  for (const std::size_t ctx : {8, 16, 32, 48, 64, 96, 111}) {
+    core::ParallelSimOptions o;
+    o.num_subtraces = 1;
+    o.context_length = ctx;
+    core::ParallelSimulator sim(pred, o);
+    const double cpi = sim.run(tr).cpi();
+    const double err = std::abs(signed_percent_error(truth, cpi));
+    const double inf = a100.inference_time_us(
+        device::Engine::kTensorRTSparse, core::simnet3c2f_flops(ctx + 1));
+    const char* note = ctx < 32   ? "IQ+ROB invisible"
+                       : ctx < 41 ? "ROB invisible"
+                       : ctx == 111 ? "paper window"
+                                    : "";
+    t.add_row({static_cast<std::int64_t>(ctx), err, inf, std::string(note)});
+  }
+  t.set_precision(3);
+  bench::emit(t, "ablation_context");
+  std::printf("takeaway: accuracy improves sharply once the window covers the "
+              "ROB (40); beyond that, inference cost grows ~linearly with "
+              "little accuracy gain — the paper's 111 covers every structure "
+              "with margin.\n");
+  return 0;
+}

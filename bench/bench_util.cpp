@@ -1,0 +1,59 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/parallel_sim.h"
+
+namespace mlsim::bench {
+
+void emit(const Table& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("MLSIM_CSV_DIR"); dir != nullptr && *dir) {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path path = std::filesystem::path(dir) / (name + ".csv");
+    std::ofstream os(path);
+    if (os.is_open()) {
+      table.write_csv(os);
+      std::cout << "[csv written to " << path.string() << "]\n";
+    }
+  }
+}
+
+core::SimNetBundle trained_bundle(std::size_t window,
+                                  std::size_t train_instructions) {
+  std::ostringstream name;
+  name << "simnet_w" << window << "_n" << train_instructions << ".bundle";
+  if (artifact_exists(name.str())) {
+    return core::SimNetBundle::load(artifact_path(name.str()));
+  }
+  std::cout << "[training SimNet bundle on {perl,gcc,bwav,namd}, window="
+            << window << ", " << train_instructions << " instr/benchmark...]\n";
+  std::vector<trace::EncodedTrace> traces;
+  std::vector<const trace::EncodedTrace*> ptrs;
+  for (const auto& abbr : trace::train_benchmarks()) {
+    traces.push_back(core::labeled_trace(abbr, train_instructions));
+  }
+  for (const auto& t : traces) ptrs.push_back(&t);
+  core::SimNetTrainConfig cfg;
+  cfg.model.window = window;
+  core::SimNetTrainReport report;
+  core::SimNetBundle bundle = core::train_simnet(ptrs, cfg, &report);
+  std::cout << "[trained: loss=" << report.final_loss
+            << " holdout fetch MAPE=" << report.holdout_mape_fetch << "%]\n";
+  bundle.save(artifact_path(name.str()));
+  return bundle;
+}
+
+double sequential_ml_cpi(core::LatencyPredictor& pred,
+                         const trace::EncodedTrace& tr, std::size_t ctx) {
+  core::ParallelSimOptions o;
+  o.num_subtraces = 1;
+  o.context_length = ctx;
+  core::ParallelSimulator sim(pred, o);
+  return sim.run(tr).cpi();
+}
+
+}  // namespace mlsim::bench

@@ -1,0 +1,38 @@
+// Fig. 15 — time to copy a batch of N instructions vs. time to simulate
+// them on the device, as N grows. Paper: copy 0.45 us / simulate 0.30 us at
+// N=1; the copy grows sublinearly (throughput-oriented NVLink), so the
+// curves cross around N = 3 — beyond that the pipelined copy is fully
+// hidden. (The production N = 10 comes from the sliding-window study.)
+#include "bench_util.h"
+#include "core/cost_model.h"
+
+using namespace mlsim;
+
+int main(int argc, char** argv) {
+  (void)bench::Args::parse(argc, argv, 0);
+  bench::banner("Fig. 15: batched copy vs simulation time");
+
+  core::CostModel cm;
+  const std::size_t flops = core::simnet3c2f_flops(112);
+  auto sim_time = [&](std::size_t n) {
+    // Per-instruction device work with the full optimisation stack.
+    return static_cast<double>(n) *
+           (cm.custom_conv_construct_us(10) + cm.gpu_update_retire_us +
+            cm.inference_us(device::Engine::kTensorRTSparse, flops, 1, true, 0.32));
+  };
+
+  Table t({"N", "copy us", "simulate us", "copy hidden?"});
+  std::size_t sweet = 0;
+  for (std::size_t n = 1; n <= 16; ++n) {
+    const double copy = cm.gpu.h2d_time_us(n * core::CostModel::row_bytes());
+    const double sim = sim_time(n);
+    if (sweet == 0 && copy <= sim) sweet = n;
+    t.add_row({static_cast<std::int64_t>(n), copy, sim,
+               std::string(copy <= sim ? "yes" : "no")});
+  }
+  t.set_precision(3);
+  bench::emit(t, "fig15_pipeline");
+  std::printf("crossover (copy fully hidden) at N = %zu (paper: N = 3; "
+              "production batch N = 10 from Fig. 12)\n", sweet);
+  return 0;
+}

@@ -1,0 +1,204 @@
+// mlsim_cli — command-line driver for the library.
+//
+//   mlsim_cli trace <benchmark> <instructions> [out.bin]
+//       Generate a labeled trace (functional sim -> annotate -> cycle-level
+//       ground truth -> encode) and optionally save it.
+//
+//   mlsim_cli simulate <benchmark|trace.bin> [instructions]
+//              [--parallel=P] [--gpus=G] [--context=C] [--no-recovery]
+//       Run the ML simulator (single optimised device, or the parallel
+//       scheme when --parallel is given) and report CPI, error vs ground
+//       truth, and modeled throughput.
+//
+//   mlsim_cli suite <instructions-per-benchmark> <gpus>
+//       Simulate all 21 Table I benchmarks scheduled across a GPU cluster.
+//
+//   mlsim_cli rates <benchmark|trace.bin> [instructions]
+//       Print §VI-E architectural metrics (miss rates, mispredict rate,
+//       bandwidth) derived from the trace.
+//
+//   mlsim_cli stream <benchmark> <instructions> [context]
+//       Streaming simulation with bounded memory (generation and ML
+//       simulation pipelined chunk by chunk) — the mode for very long
+//       programs that cannot be materialised.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/analytic_predictor.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "core/streaming.h"
+#include "core/suite.h"
+#include "trace/stream.h"
+
+using namespace mlsim;
+
+namespace {
+
+trace::EncodedTrace acquire(const std::string& what, std::size_t n) {
+  if (std::filesystem::exists(what)) return trace::EncodedTrace::load(what);
+  return core::labeled_trace(what, n == 0 ? 200000 : n);
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: mlsim_cli trace <benchmark> <instructions> [out.bin]\n");
+    return 2;
+  }
+  const std::string abbr = argv[2];
+  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+  const auto tr = core::labeled_trace(abbr, n);
+  std::printf("generated %zu labeled instructions of %s (CPI %.3f)\n", tr.size(),
+              abbr.c_str(),
+              static_cast<double>(core::total_cycles_from_targets(tr)) /
+                  static_cast<double>(tr.size()));
+  if (argc > 4) {
+    tr.save(argv[4]);
+    std::printf("saved to %s\n", argv[4]);
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: mlsim_cli simulate <benchmark|trace.bin> "
+                         "[instructions] [--parallel=P] [--gpus=G] "
+                         "[--context=C] [--no-recovery]\n");
+    return 2;
+  }
+  std::size_t n = 0, parallel = 0, gpus = 1, context = 64;
+  bool recovery = true;
+  for (int i = 3; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s.rfind("--parallel=", 0) == 0) parallel = std::stoull(s.substr(11));
+    else if (s.rfind("--gpus=", 0) == 0) gpus = std::stoull(s.substr(7));
+    else if (s.rfind("--context=", 0) == 0) context = std::stoull(s.substr(10));
+    else if (s == "--no-recovery") recovery = false;
+    else if (s[0] != '-') n = std::stoull(s);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+  }
+  const auto tr = acquire(argv[2], n);
+  core::MLSimulator::Options opts;
+  opts.context_length = context;
+  core::MLSimulator sim(opts);
+
+  if (parallel == 0) {
+    const auto out = sim.simulate(tr);
+    std::printf("single device: CPI %.4f | err vs truth %+.2f%% | %.3f MIPS "
+                "(modeled) | ctx occupancy %.2f\n",
+                out.cpi(),
+                tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
+                out.mips(), out.avg_context_occupancy);
+  } else {
+    const auto out = sim.simulate_parallel(tr, parallel, gpus, recovery, recovery);
+    std::printf("parallel (%zu sub-traces, %zu GPUs, recovery %s): CPI %.4f | "
+                "err vs truth %+.2f%% | %.2f MIPS (modeled) | corrected %zu\n",
+                parallel, gpus, recovery ? "on" : "off", out.cpi(),
+                tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
+                out.mips(), out.corrected_instructions);
+  }
+  return 0;
+}
+
+int cmd_suite(int argc, char** argv) {
+  const std::size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+  const std::size_t gpus = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  std::printf("simulating all 21 benchmarks, %zu instructions each, across "
+              "%zu modeled GPUs (LPT schedule)\n", n, gpus);
+
+  std::vector<trace::EncodedTrace> traces;
+  std::vector<core::SuiteJob> jobs;
+  traces.reserve(trace::spec2017_suite().size());
+  for (const auto& b : trace::spec2017_suite()) {
+    traces.push_back(core::labeled_trace(b.profile.abbr, n));
+  }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    jobs.push_back({&traces[i], trace::spec2017_suite()[i].profile.abbr});
+  }
+
+  core::AnalyticPredictor pred;
+  core::GpuSimOptions opts;
+  opts.context_length = 64;
+  const auto report = core::run_suite(pred, jobs, gpus, opts);
+
+  Table t({"benchmark", "device", "CPI", "device time (ms)"});
+  for (const auto& j : report.jobs) {
+    t.add_row({j.name, static_cast<std::int64_t>(j.device), j.cpi,
+               j.sim_time_us / 1000.0});
+  }
+  t.set_precision(3);
+  t.print(std::cout);
+  std::printf("makespan %.1f ms | suite throughput %.2f MIPS | device "
+              "utilization %.1f%%\n", report.makespan_us / 1000.0, report.mips(),
+              report.utilization() * 100.0);
+  return 0;
+}
+
+int cmd_rates(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: mlsim_cli rates <benchmark|trace.bin> [instructions]\n");
+    return 2;
+  }
+  const std::size_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  const auto tr = acquire(argv[2], n);
+  const auto r = core::trace_rates(tr);
+  std::printf("instructions:            %zu\n", tr.size());
+  std::printf("memory access fraction:  %.1f%%\n", r.memory_access_fraction * 100);
+  std::printf("L1D miss rate:           %.2f%%\n", r.l1d_miss_rate * 100);
+  std::printf("L2 miss rate (to mem):   %.2f%%\n", r.l2_miss_rate * 100);
+  std::printf("branch mispredict rate:  %.2f%% (%zu branches)\n",
+              r.branch_mispredict_rate * 100, r.branches);
+  if (tr.labeled()) {
+    std::printf("ground-truth CPI:        %.3f\n",
+                static_cast<double>(core::total_cycles_from_targets(tr)) /
+                    static_cast<double>(tr.size()));
+    std::printf("memory bandwidth:        %.1f B/kilocycle\n",
+                core::memory_bandwidth_from_targets(tr) * 1000);
+  }
+  return 0;
+}
+
+int cmd_stream(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: mlsim_cli stream <benchmark> <instructions> [context]\n");
+    return 2;
+  }
+  const std::string abbr = argv[2];
+  const std::uint64_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::size_t ctx = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64;
+  trace::LabeledTraceStream stream(trace::find_workload(abbr));
+  core::AnalyticPredictor pred;
+  const auto res = core::simulate_stream(pred, stream, n, ctx);
+  std::printf("streamed %llu instructions of %s (context %zu, bounded memory)\n",
+              static_cast<unsigned long long>(res.instructions), abbr.c_str(), ctx);
+  std::printf("predicted CPI %.4f | ground-truth CPI %.4f | error %+.2f%%\n",
+              res.cpi(), res.truth_cpi(),
+              (res.truth_cpi() - res.cpi()) / res.truth_cpi() * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mlsim_cli <trace|simulate|suite|rates|stream> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "trace") return cmd_trace(argc, argv);
+  if (cmd == "simulate") return cmd_simulate(argc, argv);
+  if (cmd == "suite") return cmd_suite(argc, argv);
+  if (cmd == "rates") return cmd_rates(argc, argv);
+  if (cmd == "stream") return cmd_stream(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,27 @@
+#include "common/artifacts.h"
+
+#include <cstdlib>
+
+namespace mlsim {
+
+std::filesystem::path artifact_dir() {
+  std::filesystem::path dir = "mlsim-artifacts";
+  if (const char* env = std::getenv("MLSIM_ARTIFACT_DIR"); env != nullptr && *env) {
+    dir = env;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir;
+}
+
+std::filesystem::path artifact_path(const std::string& name) {
+  return artifact_dir() / name;
+}
+
+bool artifact_exists(const std::string& name) {
+  std::error_code ec;
+  const auto p = artifact_path(name);
+  return std::filesystem::exists(p, ec) && std::filesystem::file_size(p, ec) > 0;
+}
+
+}  // namespace mlsim

@@ -1,0 +1,22 @@
+// Artifact cache: benches and examples share expensive intermediates (trained
+// model weights, labeled traces) via a directory of versioned files so a
+// multi-binary run trains once, not per binary.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace mlsim {
+
+/// Root directory for cached artifacts. Defaults to "./mlsim-artifacts";
+/// override with the MLSIM_ARTIFACT_DIR environment variable. Created on
+/// first use.
+std::filesystem::path artifact_dir();
+
+/// Path for a named artifact under artifact_dir() (not created).
+std::filesystem::path artifact_path(const std::string& name);
+
+/// True if a cached artifact with this name exists and is non-empty.
+bool artifact_exists(const std::string& name);
+
+}  // namespace mlsim

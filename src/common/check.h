@@ -1,0 +1,40 @@
+// Lightweight runtime checking. We prefer throwing over aborting so that
+// library consumers (and tests) can observe contract violations.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mlsim {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Verify `cond`; throw CheckError annotated with the call site otherwise.
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) [[unlikely]] {
+    std::ostringstream os;
+    os << loc.file_name() << ':' << loc.line() << " check failed: " << msg;
+    throw CheckError(os.str());
+  }
+}
+
+/// Verify `lo <= v < hi` for index-style arguments.
+inline void check_index(std::size_t v, std::size_t hi, std::string_view what,
+                        std::source_location loc = std::source_location::current()) {
+  if (v >= hi) [[unlikely]] {
+    std::ostringstream os;
+    os << loc.file_name() << ':' << loc.line() << " index check failed: " << what
+       << " = " << v << " must be < " << hi;
+    throw CheckError(os.str());
+  }
+}
+
+}  // namespace mlsim

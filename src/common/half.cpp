@@ -1,0 +1,77 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace mlsim {
+
+std::uint16_t float_to_half_bits(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mant = x & 0x7fffffu;
+
+  if (((x >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN: preserve NaN-ness.
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1f) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {
+    // Denormal or underflow to zero.
+    if (exp < -10) return static_cast<std::uint16_t>(sign);
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - exp;
+    std::uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normalised: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflowed into exponent
+      half_mant = 0;
+      ++exp;
+      if (exp >= 0x1f) return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp) << 10) |
+                                    half_mant);
+}
+
+float half_bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Denormal: normalise.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+            ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace mlsim

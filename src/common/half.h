@@ -1,0 +1,45 @@
+// IEEE-754 binary16 ("half") emulation.
+//
+// The paper uses NVIDIA half-precision inference (Tensor Core) to roughly
+// halve inference time with negligible accuracy loss. We have no fp16
+// hardware, so we emulate the *numerics* (round-to-nearest-even conversion
+// through a 16-bit storage format) to measure the accuracy cost, while the
+// *speed* benefit is captured by the device cost model.
+#pragma once
+
+#include <cstdint>
+
+namespace mlsim {
+
+/// Convert an IEEE binary32 float to binary16 bits (round-to-nearest-even,
+/// with denormal and infinity/NaN handling).
+std::uint16_t float_to_half_bits(float f);
+
+/// Convert binary16 bits back to binary32.
+float half_bits_to_float(std::uint16_t h);
+
+/// Round-trip a float through binary16 (what storing an activation or weight
+/// in half precision does to its value).
+inline float quantize_to_half(float f) {
+  return half_bits_to_float(float_to_half_bits(f));
+}
+
+/// Value type wrapper for clarity at API boundaries.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float f) : bits_(float_to_half_bits(f)) {}
+
+  explicit operator float() const { return half_bits_to_float(bits_); }
+  std::uint16_t bits() const { return bits_; }
+  static Half from_bits(std::uint16_t b) {
+    Half h;
+    h.bits_ = b;
+    return h;
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace mlsim

@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mlsim {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  check(bound > 0, "next_below bound must be positive");
+  // Lemire's multiply-shift rejection-free mapping is fine here: bias is
+  // negligible (bound << 2^64) for simulation workload synthesis.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : next_below(span));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+  // Box-Muller; avoid u1 == 0.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::sample_cdf(const std::vector<double>& cumulative) {
+  check(!cumulative.empty(), "sample_cdf requires non-empty cdf");
+  const double total = cumulative.back();
+  check(total > 0.0, "sample_cdf requires positive total weight");
+  const double x = uniform() * total;
+  std::size_t lo = 0, hi = cumulative.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cumulative[mid] <= x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+std::vector<double> make_cdf(const std::vector<double>& weights) {
+  std::vector<double> cdf;
+  cdf.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    check(w >= 0.0, "make_cdf weights must be non-negative");
+    acc += w;
+    cdf.push_back(acc);
+  }
+  return cdf;
+}
+
+}  // namespace mlsim

@@ -1,0 +1,67 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, weight
+// initialisation, sampling) takes an explicit seed so simulations are
+// reproducible bit-for-bit across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mlsim {
+
+/// SplitMix64: used to expand a single user seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality generator used throughout the library.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard normal via Box-Muller (no caching; deterministic).
+  double normal();
+
+  /// Geometric-like: returns true with probability p.
+  bool bernoulli(double p);
+
+  /// Sample an index from a discrete distribution given cumulative weights.
+  /// `cumulative` must be non-empty and non-decreasing with positive back().
+  std::size_t sample_cdf(const std::vector<double>& cumulative);
+
+  /// Derive an independent child stream (e.g. per-thread, per-benchmark).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Build a cumulative distribution from (possibly unnormalised) weights.
+std::vector<double> make_cdf(const std::vector<double>& weights);
+
+}  // namespace mlsim

@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mlsim {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double signed_percent_error(double reference, double value) {
+  check(reference != 0.0, "percent error undefined for zero reference");
+  return (reference - value) / reference * 100.0;
+}
+
+double absolute_percent_error(double reference, double value) {
+  return std::abs(signed_percent_error(reference, value));
+}
+
+double mean_absolute_percent_error(const std::vector<double>& reference,
+                                   const std::vector<double>& value) {
+  check(reference.size() == value.size(), "MAPE requires equal-size series");
+  check(!reference.empty(), "MAPE requires non-empty series");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    acc += absolute_percent_error(reference[i], value[i]);
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+double percentile(std::vector<double> data, double p) {
+  check(!data.empty(), "percentile of empty data");
+  check(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(data.begin(), data.end());
+  const double idx = p / 100.0 * static_cast<double>(data.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+}  // namespace mlsim

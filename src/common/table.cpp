@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mlsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  check(!headers_.empty(), "table must have at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  check(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render(const Cell& c) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&c)) {
+    os << *s;
+  } else if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&] {
+    for (auto w : widths) os << '+' << std::string(w + 2, '-');
+    os << "+\n";
+  };
+  line();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << headers_[c]
+       << " |";
+  }
+  os << '\n';
+  line();
+  for (const auto& r : rendered) {
+    os << '|';
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::left << r[c] << " |";
+    }
+    os << '\n';
+  }
+  line();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << render(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace mlsim

@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.h"
+
+namespace mlsim {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  // The calling thread participates in parallel_for, so spawn n-1 workers.
+  for (std::size_t i = 1; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t n_chunks = std::min<std::size_t>(size(), n);
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  std::size_t launched = 0;
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    ++launched;
+    enqueue([&, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lk(done_mu);
+        done.fetch_add(1, std::memory_order_release);
+      }
+      done_cv.notify_one();
+    });
+  }
+  // Caller runs the first chunk.
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    std::lock_guard lk(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  }
+  {
+    std::unique_lock lk(done_mu);
+    done_cv.wait(lk, [&] { return done.load(std::memory_order_acquire) == launched; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mlsim

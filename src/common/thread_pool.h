@@ -1,0 +1,57 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The library runs on anything from 1 core (this development machine) to a
+// many-core node; parallel_for degrades gracefully to a serial loop when the
+// pool has a single worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlsim {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
+
+  /// Run fn(i) for i in [begin, end), partitioned in contiguous chunks across
+  /// the pool plus the calling thread. Blocks until all iterations finish.
+  /// Exceptions from workers are rethrown on the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) per contiguous chunk.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized from hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void enqueue(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mlsim

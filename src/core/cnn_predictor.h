@@ -1,0 +1,57 @@
+// CNN latency predictor: the trained SimNet 3C+2F model behind the
+// LatencyPredictor interface.
+//
+// Features are normalised per-slot with scales computed from the training
+// set; outputs are trained in log1p space and rounded back to integer
+// cycles. The engine flavour only affects the simulated-time model (and,
+// for fp16/2:4, the quantised weights used for real inference).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "core/predictor.h"
+#include "tensor/model.h"
+
+namespace mlsim::core {
+
+/// Trained model plus its feature normalisation — the deployable artifact.
+struct SimNetBundle {
+  tensor::SimNetModel model;
+  std::vector<float> feature_scale;  // kNumFeatures entries
+
+  void save(const std::filesystem::path& path) const;
+  static SimNetBundle load(const std::filesystem::path& path);
+};
+
+class CnnPredictor final : public LatencyPredictor {
+ public:
+  CnnPredictor(SimNetBundle bundle,
+               device::Engine engine = device::Engine::kTensorRTSparse);
+
+  LatencyPrediction predict(const WindowView& window,
+                            std::uint64_t global_index) override;
+  void predict_batch(const std::int32_t* windows, std::size_t batch,
+                     std::size_t rows, const std::uint64_t* global_indices,
+                     LatencyPrediction* out) override;
+
+  std::size_t flops_per_window(std::size_t /*rows*/) const override {
+    return bundle_.model.flops_per_batch(1);
+  }
+  device::Engine engine() const override { return engine_; }
+
+  tensor::SimNetModel& model() { return bundle_.model; }
+  const SimNetBundle& bundle() const { return bundle_; }
+
+  /// Convert a raw model output (log1p space) to integer cycles.
+  static std::uint32_t decode(float y);
+
+ private:
+  void fill_input(tensor::Tensor& x, std::size_t sample, const std::int32_t* window,
+                  std::size_t rows) const;
+
+  SimNetBundle bundle_;
+  device::Engine engine_;
+};
+
+}  // namespace mlsim::core

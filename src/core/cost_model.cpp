@@ -1,0 +1,19 @@
+#include "core/cost_model.h"
+
+namespace mlsim::core {
+
+double CostModel::inference_us(device::Engine engine, std::size_t flops_per_window,
+                               std::size_t batch, bool custom_conv,
+                               double avg_valid_fraction) const {
+  double flops = static_cast<double>(flops_per_window) * static_cast<double>(batch);
+  if (custom_conv) {
+    // The first conv layer dominated by padded columns: the custom layer only
+    // computes the valid ones. Conv1 is roughly 1/4 of total model FLOPs for
+    // the 3C+2F shape; the rest of the network is unchanged.
+    const double conv1_share = 0.25;
+    flops *= (1.0 - conv1_share) + conv1_share * avg_valid_fraction;
+  }
+  return gpu.inference_time_us(engine, static_cast<std::size_t>(flops));
+}
+
+}  // namespace mlsim::core

@@ -1,0 +1,91 @@
+// Per-step simulated-time cost model for the ML simulator pipeline.
+//
+// Centralises every calibrated constant so the ablation benches (Figs. 2,
+// 11-16) and the simulators draw from one source. All times are µs per
+// *instruction* unless stated otherwise; batch-amortised steps take the
+// batch size N. Calibration targets are the paper's DGX-A100 measurements;
+// see EXPERIMENTS.md for paper-vs-model values.
+#pragma once
+
+#include <cstddef>
+
+#include "device/gpu_spec.h"
+#include "trace/encoder.h"
+
+namespace mlsim::core {
+
+/// FLOPs of one 3C+2F inference for a given window, anchored to the paper's
+/// measured 3.19 MFLOP at the 112-instruction window and scaled linearly
+/// (all layers are linear in the window length).
+inline std::size_t simnet3c2f_flops(std::size_t window_rows) {
+  return static_cast<std::size_t>(3.19e6 * static_cast<double>(window_rows) / 112.0);
+}
+
+struct CostModel {
+  device::GpuSpec gpu = device::GpuSpec::a100();
+
+  // Host-side (CPU) step costs for the unoptimised baseline (Fig. 1 flow).
+  double host_queue_push_us = 0.06;       // copy 1: trace row -> queue
+  double host_construct_row_us = 0.0164;  // copy 2: concat+pad, per window row
+  double host_update_retire_us = 0.10;    // step 4 on the CPU
+
+  // Device-side kernels.
+  double gpu_update_retire_us = 0.01;     // step 4 as a device kernel
+  double swiq_resident_us = 0.18;         // SWIQ update work per instruction
+  double custom_conv_gather_us = 0.10;    // strided gather inside custom conv
+
+  /// Bytes of one window (rows x features x 4B).
+  static std::size_t window_bytes(std::size_t rows) {
+    return rows * trace::kNumFeatures * sizeof(std::int32_t);
+  }
+  static std::size_t row_bytes() { return trace::kNumFeatures * sizeof(std::int32_t); }
+
+  // --- Step costs, per instruction -----------------------------------------
+
+  /// Copy 3 of the naive flow: ship the whole constructed window to the GPU.
+  double h2d_full_window_us(std::size_t rows) const {
+    return gpu.h2d_time_us(window_bytes(rows));
+  }
+
+  /// Optimised flow: only the new instruction rows cross the link, one batch
+  /// of N rows per transfer (amortised per instruction).
+  double h2d_batched_row_us(std::size_t batch_n) const {
+    return gpu.h2d_time_us(row_bytes() * batch_n) / static_cast<double>(batch_n);
+  }
+
+  /// Copy 2 on the CPU (concatenate queue + pad).
+  double cpu_construct_us(std::size_t rows) const {
+    return host_construct_row_us * static_cast<double>(rows);
+  }
+
+  /// GPU-based input construction kernel (gathers the window in device
+  /// memory; one launch per instruction).
+  double gpu_construct_us(std::size_t rows) const {
+    return gpu.kernel_time_us(2 * window_bytes(rows), 0);
+  }
+
+  /// Sliding-window queue: no gather at all; one slide/update per
+  /// instruction plus a launch amortised over the batch.
+  double swiq_construct_us(std::size_t batch_n) const {
+    return gpu.launch_us / static_cast<double>(batch_n) + swiq_resident_us;
+  }
+
+  /// With the custom convolution the window is consumed in place (no
+  /// transpose, no padding compute); only the strided gather cost remains.
+  double custom_conv_construct_us(std::size_t batch_n) const {
+    return gpu.launch_us / static_cast<double>(batch_n) + custom_conv_gather_us;
+  }
+
+  /// Copy 4 of the naive flow: transpose kernel over the window.
+  double transpose_us(std::size_t rows) const {
+    return gpu.kernel_time_us(2 * window_bytes(rows), 0);
+  }
+
+  /// Inference for a batch of windows; `avg_valid_fraction` is the mean
+  /// non-padding fraction (custom conv skips padded columns).
+  double inference_us(device::Engine engine, std::size_t flops_per_window,
+                      std::size_t batch, bool custom_conv,
+                      double avg_valid_fraction) const;
+};
+
+}  // namespace mlsim::core

@@ -1,0 +1,83 @@
+#include "core/error_analysis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace mlsim::core {
+
+namespace {
+std::int64_t total_latency(const LatencyPrediction& p) {
+  return static_cast<std::int64_t>(p.fetch) + p.exec + p.store;
+}
+}  // namespace
+
+ParallelDiffReport diff_parallel_runs(const ParallelSimResult& sequential,
+                                      const ParallelSimResult& parallel) {
+  check(sequential.predictions.size() == parallel.predictions.size(),
+        "runs must cover the same trace");
+  check(!parallel.boundaries.empty(), "parallel run must report boundaries");
+  check(sequential.context_counts.size() == sequential.predictions.size() &&
+            parallel.context_counts.size() == parallel.predictions.size(),
+        "both runs must record context counts");
+
+  ParallelDiffReport out;
+  const std::size_t P = parallel.boundaries.size() - 1;
+  out.partitions.reserve(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    PartitionDiff d;
+    d.begin = parallel.boundaries[p];
+    d.length = parallel.boundaries[p + 1] - d.begin;
+    d.first_context_match = d.length;
+    for (std::size_t j = 0; j < d.length; ++j) {
+      const std::size_t i = d.begin + j;
+      const bool ctx_diff =
+          sequential.context_counts[i] != parallel.context_counts[i];
+      d.context_diff_count += ctx_diff;
+      if (!ctx_diff && d.first_context_match == d.length) {
+        d.first_context_match = j;
+      }
+      const std::int64_t delta = total_latency(sequential.predictions[i]) -
+                                 total_latency(parallel.predictions[i]);
+      if (delta != 0) {
+        ++d.prediction_diff_count;
+        d.abs_prediction_diff += static_cast<std::uint64_t>(std::llabs(delta));
+        d.error_extent = j + 1;
+      }
+    }
+    out.total_context_diffs += d.context_diff_count;
+    out.total_prediction_diffs += d.prediction_diff_count;
+    out.total_abs_prediction_diff += d.abs_prediction_diff;
+    out.partitions.push_back(d);
+  }
+  return out;
+}
+
+DiffStudy run_diff_study(LatencyPredictor& predictor,
+                         const trace::EncodedTrace& tr,
+                         const ParallelSimOptions& parallel_options) {
+  ParallelSimOptions seq_o = parallel_options;
+  seq_o.num_subtraces = 1;
+  seq_o.num_gpus = 1;
+  seq_o.warmup = 0;
+  seq_o.post_error_correction = false;
+  seq_o.record_predictions = true;
+  seq_o.record_context_counts = true;
+  const ParallelSimResult seq = ParallelSimulator(predictor, seq_o).run(tr);
+
+  ParallelSimOptions par_o = parallel_options;
+  par_o.record_predictions = true;
+  par_o.record_context_counts = true;
+  const ParallelSimResult par = ParallelSimulator(predictor, par_o).run(tr);
+
+  DiffStudy study;
+  study.report = diff_parallel_runs(seq, par);
+  study.sequential_cpi = seq.cpi();
+  study.parallel_cpi = par.cpi();
+  study.cpi_error_percent = std::abs(
+      ParallelSimulator::cpi_error_percent(study.sequential_cpi, study.parallel_cpi));
+  return study;
+}
+
+}  // namespace mlsim::core

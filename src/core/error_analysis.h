@@ -1,0 +1,66 @@
+// Parallel-simulation error diagnostics (the analysis behind paper
+// Figs. 7 and 8): per-partition context/prediction difference profiles
+// between a sequential reference run and a parallel run of the same
+// predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel_sim.h"
+#include "core/sim_output.h"
+
+namespace mlsim::core {
+
+/// Difference profile of one partition.
+struct PartitionDiff {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  /// Instructions whose context-instruction count differs from sequential.
+  std::size_t context_diff_count = 0;
+  /// Offset (from the partition head) of the first instruction whose
+  /// context count matches sequential; == length if never.
+  std::size_t first_context_match = 0;
+  /// Instructions whose predicted total latency differs.
+  std::size_t prediction_diff_count = 0;
+  /// Sum of |predicted total latency difference| over the partition.
+  std::uint64_t abs_prediction_diff = 0;
+  /// Offset past which predictions agree for the rest of the partition;
+  /// == 0 if they agree everywhere.
+  std::size_t error_extent = 0;
+};
+
+struct ParallelDiffReport {
+  std::vector<PartitionDiff> partitions;
+
+  /// Aggregates across partitions.
+  std::size_t total_context_diffs = 0;
+  std::size_t total_prediction_diffs = 0;
+  std::uint64_t total_abs_prediction_diff = 0;
+
+  /// Fraction of instructions whose prediction was perturbed.
+  double perturbed_fraction(std::size_t instructions) const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(total_prediction_diffs) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+/// Compare a sequential run and a parallel run (both must have been
+/// executed with record_predictions and record_context_counts).
+ParallelDiffReport diff_parallel_runs(const ParallelSimResult& sequential,
+                                      const ParallelSimResult& parallel);
+
+/// Convenience: run the sequential reference and the parallel configuration
+/// and return the diff report plus both CPIs.
+struct DiffStudy {
+  ParallelDiffReport report;
+  double sequential_cpi = 0.0;
+  double parallel_cpi = 0.0;
+  double cpi_error_percent = 0.0;
+};
+DiffStudy run_diff_study(LatencyPredictor& predictor,
+                         const trace::EncodedTrace& tr,
+                         const ParallelSimOptions& parallel_options);
+
+}  // namespace mlsim::core

@@ -1,0 +1,78 @@
+#include "core/instruction_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlsim::core {
+
+InstructionQueue::InstructionQueue(std::size_t context_length)
+    : ctx_len_(context_length) {
+  check(context_length > 0, "context length must be positive");
+}
+
+std::size_t InstructionQueue::context_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) n += e.retire_clock > clock_;
+  return n;
+}
+
+void InstructionQueue::push_and_build(std::span<const std::int32_t> features,
+                                      std::vector<std::int32_t>& out) {
+  check(features.size() == trace::kNumFeatures, "feature row width mismatch");
+  check(!pending_, "push_and_build called twice without apply_prediction");
+  pending_ = true;
+
+  const std::size_t rows = ctx_len_ + 1;
+  out.assign(rows * trace::kNumFeatures, 0);
+
+  // Row 0: the to-be-predicted instruction (latency entry stays 0).
+  std::copy(features.begin(), features.end(), out.begin());
+
+  // Context rows in program order: row r = instruction i-r; retired rows
+  // stay zero.
+  std::size_t r = 1;
+  for (const auto& e : entries_) {
+    if (r >= rows) break;
+    if (e.retire_clock > clock_) {
+      auto* dst = out.data() + r * trace::kNumFeatures;
+      std::copy(e.features.begin(), e.features.end(), dst);
+      const std::uint64_t remaining = e.retire_clock - clock_;
+      dst[kCtxLatFeature] = static_cast<std::int32_t>(
+          std::min<std::uint64_t>(remaining, kMaxLatencyEntry));
+    }
+    ++r;
+  }
+
+  // Admit the instruction (retire clock assigned by apply_prediction).
+  Entry e;
+  e.features.assign(features.begin(), features.end());
+  entries_.push_front(std::move(e));
+  if (entries_.size() > ctx_len_) entries_.pop_back();
+}
+
+void InstructionQueue::apply_prediction(const LatencyPrediction& p) {
+  check(pending_, "apply_prediction without matching push_and_build");
+  pending_ = false;
+
+  // Fig. 1 step 4: retire clock = pre-advance Clock plus all three predicted
+  // latencies; then the Clock advances by the fetch latency. Rows whose
+  // retire clock falls <= Clock become invalid (zeroed in future windows).
+  const std::uint64_t retire = clock_ + p.fetch + p.exec + p.store;
+  entries_.front().retire_clock = retire;
+  last_retire_ = std::max(last_retire_, retire);
+  clock_ += p.fetch;
+}
+
+void InstructionQueue::reset() {
+  entries_.clear();
+  clock_ = 0;
+  last_retire_ = 0;
+  pending_ = false;
+}
+
+std::uint64_t InstructionQueue::total_cycles_with_drain() const {
+  return std::max(clock_, last_retire_);
+}
+
+}  // namespace mlsim::core

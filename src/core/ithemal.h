@@ -1,0 +1,110 @@
+// Ithemal-class baseline: hierarchical basic-block throughput prediction
+// (paper §II-B, §VII-B).
+//
+// Ithemal predicts the throughput (cycles) of a static basic block with
+// hierarchical sequential LSTMs: a token layer embeds each instruction, an
+// instruction-level LSTM folds the block into an embedding, and a linear
+// layer predicts throughput. It assumes perfect memory and cannot simulate
+// whole programs — which is why the paper uses it only as a baseline and as
+// the generalisation case study (Fig. 22): the same data-movement and
+// batching optimisations apply to its GPU offload.
+//
+// Simplification vs. the original: the token-level LSTM over textual
+// operand tokens is replaced by a learned linear embedding of the 50-entry
+// feature vector (our instructions are already numerically tokenised).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/gpu_spec.h"
+#include "tensor/lstm.h"
+#include "tensor/optim.h"
+#include "trace/trace.h"
+
+namespace mlsim::core {
+
+/// A dynamic basic block: contiguous trace rows plus its ground-truth cost.
+struct BasicBlock {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  std::uint32_t cycles = 0;  // sum of ground-truth fetch latencies
+};
+
+/// Split a labeled trace into basic blocks (block-entry feature delimits).
+std::vector<BasicBlock> extract_basic_blocks(const trace::EncodedTrace& labeled,
+                                             std::size_t max_len = 16);
+
+struct IthemalConfig {
+  std::size_t embed = 32;
+  std::size_t hidden = 48;
+  std::size_t max_block_len = 16;
+  std::size_t epochs = 2;
+  std::size_t batch_size = 16;
+  float lr = 2e-3f;
+  std::uint64_t seed = 7;
+};
+
+class IthemalModel {
+ public:
+  explicit IthemalModel(const IthemalConfig& cfg, std::uint64_t seed = 7);
+
+  /// Predict cycles for a batch of blocks (padded to the longest block in
+  /// the batch). Returns one cycle count per block.
+  std::vector<double> predict(const trace::EncodedTrace& tr,
+                              const std::vector<BasicBlock>& blocks,
+                              const std::vector<float>& scales);
+
+  /// One training step over a batch; returns the batch loss.
+  float train_step(const trace::EncodedTrace& tr,
+                   const std::vector<BasicBlock>& blocks,
+                   const std::vector<float>& scales, float lr);
+
+  const IthemalConfig& config() const { return cfg_; }
+
+  /// FLOPs to process one block of `len` instructions (drives Fig. 22's
+  /// modeled throughput).
+  std::size_t flops_per_block(std::size_t len) const;
+
+ private:
+  tensor::Tensor embed_blocks(const trace::EncodedTrace& tr,
+                              const std::vector<BasicBlock>& blocks,
+                              const std::vector<float>& scales,
+                              std::size_t max_len);
+
+  IthemalConfig cfg_;
+  std::unique_ptr<tensor::Linear> embed_;
+  std::unique_ptr<tensor::ReLU> relu_;
+  std::unique_ptr<tensor::Lstm> lstm_;
+  std::unique_ptr<tensor::Linear> head_;
+  std::unique_ptr<tensor::Adam> optim_;
+};
+
+struct IthemalTrainReport {
+  float final_loss = 0.0f;
+  double mape_percent = 0.0;  // block-cycle error on a holdout slice
+  std::size_t blocks = 0;
+};
+
+/// Train on blocks from the training traces (holding out a tail for eval).
+IthemalModel train_ithemal(const std::vector<const trace::EncodedTrace*>& traces,
+                           const IthemalConfig& cfg,
+                           std::vector<float>* scales_out,
+                           IthemalTrainReport* report = nullptr);
+
+/// Fig. 22 time model: per-block simulated time of the original sequential
+/// Ithemal offload vs. the optimised (batched, custom-layer, pipelined)
+/// version, per instruction.
+struct IthemalThroughput {
+  double sequential_us_per_inst = 0.0;
+  double optimized_us_per_inst = 0.0;
+};
+IthemalThroughput model_ithemal_throughput(const IthemalModel& model,
+                                           const device::GpuSpec& gpu,
+                                           std::size_t avg_block_len,
+                                           std::size_t batch_blocks);
+
+}  // namespace mlsim::core

@@ -1,0 +1,36 @@
+// Lockstep batched parallel simulator — the paper's actual GPU compute
+// pattern, executed functionally.
+//
+// ParallelSimulator walks sub-traces one after another (convenient on a
+// CPU); on the device, the i-th instruction of *all* resident sub-traces is
+// inferred in ONE batched call (Fig. 5). This engine reproduces that
+// stepping for real: each step materialises one window per active
+// partition and issues a single LatencyPredictor::predict_batch, so batched
+// predictors (the CNN) run exactly as they would inside the GPU engine.
+//
+// Results are bit-identical to ParallelSimulator for the same options
+// (asserted by tests): sub-traces are independent, so the interleaving
+// order cannot change any prediction.
+#pragma once
+
+#include "core/parallel_sim.h"
+
+namespace mlsim::core {
+
+class LockstepParallelSimulator {
+ public:
+  LockstepParallelSimulator(LatencyPredictor& predictor, ParallelSimOptions opts);
+
+  ParallelSimResult run(const trace::EncodedTrace& trace);
+
+  /// Largest inference batch issued during the last run (= active
+  /// partitions per step; decays as short partitions finish).
+  std::size_t peak_batch() const { return peak_batch_; }
+
+ private:
+  LatencyPredictor& predictor_;
+  ParallelSimOptions opts_;
+  std::size_t peak_batch_ = 0;
+};
+
+}  // namespace mlsim::core

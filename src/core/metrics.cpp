@@ -1,0 +1,178 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "trace/annotation.h"
+
+namespace mlsim::core {
+
+using trace::Feat;
+
+std::vector<double> cpi_series_from_predictions(
+    const std::vector<LatencyPrediction>& preds, std::size_t interval) {
+  check(interval > 0, "interval must be positive");
+  std::vector<double> out;
+  std::uint64_t acc = 0;
+  std::size_t cnt = 0;
+  for (const auto& p : preds) {
+    acc += p.fetch;
+    if (++cnt == interval) {
+      out.push_back(static_cast<double>(acc) / static_cast<double>(interval));
+      acc = 0;
+      cnt = 0;
+    }
+  }
+  if (cnt > 0) out.push_back(static_cast<double>(acc) / static_cast<double>(cnt));
+  return out;
+}
+
+std::vector<double> cpi_series_from_targets(const trace::EncodedTrace& labeled,
+                                            std::size_t interval) {
+  check(interval > 0, "interval must be positive");
+  std::vector<double> out;
+  std::uint64_t acc = 0;
+  std::size_t cnt = 0;
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    acc += labeled.targets(i)[0];
+    if (++cnt == interval) {
+      out.push_back(static_cast<double>(acc) / static_cast<double>(interval));
+      acc = 0;
+      cnt = 0;
+    }
+  }
+  if (cnt > 0) out.push_back(static_cast<double>(acc) / static_cast<double>(cnt));
+  return out;
+}
+
+namespace {
+constexpr double kLineBytes = 64.0;
+
+double membw(const trace::EncodedTrace& tr, std::uint64_t cycles) {
+  if (cycles == 0) return 0.0;
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto f = tr.features(i);
+    // Data level 3 == served from memory (trace::HitLevel::kMemory).
+    if (f[Feat::kDataLevel] == static_cast<std::int32_t>(trace::HitLevel::kMemory)) {
+      bytes += kLineBytes;
+    }
+  }
+  return bytes / static_cast<double>(cycles);
+}
+}  // namespace
+
+double memory_bandwidth_from_predictions(const trace::EncodedTrace& tr,
+                                         const std::vector<LatencyPrediction>& preds) {
+  return membw(tr, total_cycles(preds));
+}
+
+double memory_bandwidth_from_targets(const trace::EncodedTrace& labeled) {
+  return membw(labeled, total_cycles_from_targets(labeled));
+}
+
+OpTypeError optype_error(const trace::EncodedTrace& labeled,
+                         const std::vector<LatencyPrediction>& preds) {
+  check(labeled.labeled(), "optype_error requires ground-truth targets");
+  check(labeled.size() == preds.size(), "prediction count mismatch");
+  OpTypeError out;
+  double alu_acc = 0.0, mem_acc = 0.0, alu_abs = 0.0, mem_abs = 0.0;
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    const auto f = labeled.features(i);
+    const auto t = labeled.targets(i);
+    const double truth = static_cast<double>(t[1]) + 1.0;
+    const double pred = static_cast<double>(preds[i].exec) + 1.0;
+    const double err = std::abs(truth - pred) / truth * 100.0;
+    if (f[Feat::kIsLoad] != 0 || f[Feat::kIsStore] != 0) {
+      mem_acc += err;
+      mem_abs += std::abs(truth - pred);
+      ++out.memory_count;
+    } else if (f[Feat::kIsBranch] == 0 && f[Feat::kIsControl] == 0) {
+      alu_acc += err;
+      alu_abs += std::abs(truth - pred);
+      ++out.alu_count;
+    }
+  }
+  if (out.alu_count) {
+    out.alu_percent = alu_acc / static_cast<double>(out.alu_count);
+    out.alu_mae_cycles = alu_abs / static_cast<double>(out.alu_count);
+  }
+  if (out.memory_count) {
+    out.memory_percent = mem_acc / static_cast<double>(out.memory_count);
+    out.memory_mae_cycles = mem_abs / static_cast<double>(out.memory_count);
+  }
+  return out;
+}
+
+TraceRates trace_rates(const trace::EncodedTrace& tr) {
+  TraceRates out;
+  std::size_t mispredicted = 0, l1_misses = 0, mem_level = 0;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto f = tr.features(i);
+    if (f[Feat::kIsBranch] != 0) {
+      ++out.branches;
+      mispredicted += f[Feat::kMispredicted] != 0;
+    }
+    const auto level = f[Feat::kDataLevel];
+    if (level != static_cast<std::int32_t>(trace::HitLevel::kNone)) {
+      ++out.data_accesses;
+      l1_misses += level > static_cast<std::int32_t>(trace::HitLevel::kL1);
+      mem_level += level == static_cast<std::int32_t>(trace::HitLevel::kMemory);
+    }
+  }
+  if (out.branches > 0) {
+    out.branch_mispredict_rate =
+        static_cast<double>(mispredicted) / static_cast<double>(out.branches);
+  }
+  if (out.data_accesses > 0) {
+    out.l1d_miss_rate =
+        static_cast<double>(l1_misses) / static_cast<double>(out.data_accesses);
+    out.l2_miss_rate =
+        static_cast<double>(mem_level) / static_cast<double>(out.data_accesses);
+  }
+  if (tr.size() > 0) {
+    out.memory_access_fraction =
+        static_cast<double>(out.data_accesses) / static_cast<double>(tr.size());
+  }
+  return out;
+}
+
+std::vector<double> membw_series_from_predictions(
+    const trace::EncodedTrace& tr, const std::vector<LatencyPrediction>& preds,
+    std::size_t interval) {
+  check(interval > 0, "interval must be positive");
+  check(tr.size() == preds.size(), "prediction count mismatch");
+  std::vector<double> out;
+  double bytes = 0;
+  std::uint64_t cycles = 0;
+  std::size_t cnt = 0;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto f = tr.features(i);
+    if (f[Feat::kDataLevel] == static_cast<std::int32_t>(trace::HitLevel::kMemory)) {
+      bytes += kLineBytes;
+    }
+    cycles += preds[i].fetch;
+    if (++cnt == interval) {
+      out.push_back(cycles ? bytes / static_cast<double>(cycles) : 0.0);
+      bytes = 0;
+      cycles = 0;
+      cnt = 0;
+    }
+  }
+  if (cnt > 0) out.push_back(cycles ? bytes / static_cast<double>(cycles) : 0.0);
+  return out;
+}
+
+std::uint64_t total_cycles(const std::vector<LatencyPrediction>& preds) {
+  std::uint64_t acc = 0;
+  for (const auto& p : preds) acc += p.fetch;
+  return acc;
+}
+
+std::uint64_t total_cycles_from_targets(const trace::EncodedTrace& labeled) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < labeled.size(); ++i) acc += labeled.targets(i)[0];
+  return acc;
+}
+
+}  // namespace mlsim::core

@@ -1,0 +1,67 @@
+// Simulation metric derivation (paper §VI-D/E): interval CPI series,
+// memory bandwidth, and per-operation-type prediction error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sim_output.h"
+#include "trace/trace.h"
+
+namespace mlsim::core {
+
+/// Interval CPI: cycles (sum of fetch latencies) per instruction over
+/// consecutive intervals — captures phase behaviour (§VI-E).
+std::vector<double> cpi_series_from_predictions(
+    const std::vector<LatencyPrediction>& preds, std::size_t interval);
+
+/// Same, from a labeled trace's ground-truth targets.
+std::vector<double> cpi_series_from_targets(const trace::EncodedTrace& labeled,
+                                            std::size_t interval);
+
+/// Memory bandwidth estimate: bytes served from memory (one cache line per
+/// access whose data level is "memory") divided by total cycles; unit is
+/// bytes/cycle (multiply by clock frequency for GB/s).
+double memory_bandwidth_from_predictions(const trace::EncodedTrace& tr,
+                                         const std::vector<LatencyPrediction>& preds);
+double memory_bandwidth_from_targets(const trace::EncodedTrace& labeled);
+
+/// Table III: per-instruction mean absolute percentage error of the execute
+/// latency (with +1 smoothing for zero-latency targets), split by
+/// operation class.
+struct OpTypeError {
+  double alu_percent = 0.0;     // +1-smoothed relative error
+  double memory_percent = 0.0;
+  double alu_mae_cycles = 0.0;  // mean absolute error in cycles
+  double memory_mae_cycles = 0.0;
+  std::size_t alu_count = 0;
+  std::size_t memory_count = 0;
+};
+OpTypeError optype_error(const trace::EncodedTrace& labeled,
+                         const std::vector<LatencyPrediction>& preds);
+
+/// §VI-E: other architectural metrics the simulator can report directly
+/// from the trace's dynamic-state features.
+struct TraceRates {
+  double branch_mispredict_rate = 0.0;  // mispredicted / conditional branches
+  double l1d_miss_rate = 0.0;           // data accesses not served by L1
+  double l2_miss_rate = 0.0;            // data accesses that reached memory
+  double memory_access_fraction = 0.0;  // loads+stores / instructions
+  std::size_t branches = 0;
+  std::size_t data_accesses = 0;
+};
+TraceRates trace_rates(const trace::EncodedTrace& tr);
+
+/// Interval memory-bandwidth series (bytes/cycle per interval), mirroring
+/// the interval CPI series.
+std::vector<double> membw_series_from_predictions(
+    const trace::EncodedTrace& tr, const std::vector<LatencyPrediction>& preds,
+    std::size_t interval);
+
+/// Total predicted cycles (sum of fetch latencies).
+std::uint64_t total_cycles(const std::vector<LatencyPrediction>& preds);
+
+/// Total ground-truth cycles from a labeled trace.
+std::uint64_t total_cycles_from_targets(const trace::EncodedTrace& labeled);
+
+}  // namespace mlsim::core

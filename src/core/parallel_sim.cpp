@@ -1,0 +1,199 @@
+#include "core/parallel_sim.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace mlsim::core {
+
+ParallelSimulator::ParallelSimulator(LatencyPredictor& predictor,
+                                     ParallelSimOptions opts)
+    : predictor_(predictor), opts_(std::move(opts)) {
+  check(opts_.num_subtraces > 0, "need at least one sub-trace");
+  check(opts_.num_gpus > 0, "need at least one GPU");
+  check(opts_.context_length > 0, "context length must be positive");
+}
+
+double ParallelSimulator::cpi_error_percent(double sequential_cpi,
+                                            double parallel_cpi) {
+  return signed_percent_error(sequential_cpi, parallel_cpi);
+}
+
+std::vector<std::size_t> partition_boundaries(std::size_t n, std::size_t parts) {
+  check(parts > 0 && parts <= n, "invalid partition count");
+  std::vector<std::size_t> out(parts + 1);
+  const std::size_t base = n / parts, rem = n % parts;
+  std::size_t pos = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    out[p] = pos;
+    pos += base + (p < rem ? 1 : 0);
+  }
+  out[parts] = pos;
+  return out;
+}
+
+double model_parallel_time_us(const ParallelSimOptions& opts,
+                              const std::vector<std::size_t>& partition_steps,
+                              std::size_t flops_per_window,
+                              double avg_context_occupancy) {
+  const CostModel& cm = opts.costs;
+  const std::size_t P = partition_steps.size();
+  const std::size_t G = std::min(opts.num_gpus, P);
+  const std::size_t per_gpu = (P + G - 1) / G;
+  const std::size_t rows = opts.context_length + 1;
+
+  double slowest = 0.0;
+  for (std::size_t g = 0; g < G; ++g) {
+    const std::size_t p_lo = g * per_gpu;
+    const std::size_t p_hi = std::min(P, p_lo + per_gpu);
+    if (p_lo >= p_hi) continue;
+    const std::size_t batch = p_hi - p_lo;
+    std::size_t steps = 0;
+    for (std::size_t p = p_lo; p < p_hi; ++p) {
+      steps = std::max(steps, partition_steps[p]);
+    }
+    // One fused kernel set per step covers all resident sub-traces, so the
+    // launch overheads amortise across the batch; the per-window work
+    // (strided gather, H2D row staging, update/retire) stays per-partition.
+    const double launches = 3.0 * cm.gpu.launch_us;
+    const double per_window =
+        cm.custom_conv_gather_us +
+        (cm.h2d_batched_row_us(opts.batch_n) -
+         cm.gpu.h2d_lat_us / static_cast<double>(opts.batch_n)) +
+        cm.gpu_update_retire_us;
+    const double per_step_us =
+        launches + static_cast<double>(batch) * per_window +
+        cm.inference_us(opts.engine, flops_per_window, batch,
+                        /*custom_conv=*/true,
+                        avg_context_occupancy + 1.0 / static_cast<double>(rows));
+    slowest = std::max(slowest, static_cast<double>(steps) * per_step_us);
+  }
+  return slowest + device::allreduce_time_us(G, per_gpu * sizeof(std::uint64_t));
+}
+
+ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
+  ParallelSimResult res;
+  const std::size_t n = trace.size();
+  res.instructions = n;
+  if (n == 0) return res;
+
+  const std::size_t P = std::min(opts_.num_subtraces, n);
+  const std::size_t G = std::min(opts_.num_gpus, P);
+  const std::size_t per_gpu = (P + G - 1) / G;  // partitions per GPU (block)
+  const std::size_t rows = opts_.context_length + 1;
+  const std::size_t cap = opts_.context_length;  // retire-ring capacity
+
+  res.boundaries = partition_boundaries(n, P);
+  auto gpu_of = [&](std::size_t p) { return p / per_gpu; };
+
+  std::vector<std::uint32_t> fetch_lat(n, 0);
+  if (opts_.record_predictions) res.predictions.resize(n);
+  if (opts_.record_context_counts) res.context_counts.resize(n, 0);
+
+  // Initial context counts for partition heads (correction's termination
+  // reference).
+  const bool correcting = opts_.post_error_correction;
+  std::vector<std::vector<std::uint16_t>> head_counts;
+  if (correcting) head_counts.resize(P);
+
+  std::vector<std::uint64_t> partition_cycles(P, 0);
+  std::vector<std::size_t> partition_steps(P, 0);  // incl. warmup + corrections
+  std::vector<std::uint64_t> ring(cap, 0);
+  std::vector<std::uint64_t> prev_ring;  // end-of-previous-partition snapshot
+  std::uint64_t prev_clock = 0;
+  std::size_t prev_oldest = 0;
+
+  RunningStats occupancy;  // sampled context occupancy (drives the cost model)
+
+  for (std::size_t p = 0; p < P; ++p) {
+    const std::size_t b = res.boundaries[p], e = res.boundaries[p + 1];
+    const std::size_t h_begin = b >= opts_.warmup ? b - opts_.warmup : 0;
+    res.warmup_instructions += b - h_begin;
+
+    std::uint64_t clock = 0;
+    std::uint64_t clock_at_body = 0;
+    const std::size_t head_limit =
+        correcting ? std::min(opts_.correction_limit + 1, e - b) : 0;
+    if (correcting) head_counts[p].reserve(head_limit);
+
+    for (std::size_t i = h_begin; i < e; ++i) {
+      if (i == b) clock_at_body = clock;
+      const LazyWindow lw(trace, i, h_begin, ring.data(), cap, clock, rows);
+
+      const bool want_count =
+          (opts_.record_context_counts && i >= b) ||
+          (correcting && i >= b && i - b < head_limit) || ((i & 63) == 0);
+      std::size_t cnt = 0;
+      if (want_count) {
+        cnt = lw.context_count();
+        if ((i & 63) == 0) {
+          occupancy.add(static_cast<double>(cnt) /
+                        static_cast<double>(opts_.context_length));
+        }
+        if (opts_.record_context_counts && i >= b) {
+          res.context_counts[i] = static_cast<std::uint16_t>(cnt);
+        }
+        if (correcting && i >= b && i - b < head_limit) {
+          head_counts[p].push_back(static_cast<std::uint16_t>(cnt));
+        }
+      }
+
+      const LatencyPrediction pr = predictor_.predict_lazy(lw);
+      ring[i % cap] = clock + pr.fetch + pr.exec + pr.store;
+      clock += pr.fetch;
+      if (i >= b) {
+        fetch_lat[i] = pr.fetch;
+        if (opts_.record_predictions) res.predictions[i] = pr;
+      }
+    }
+    partition_cycles[p] = clock - clock_at_body;
+    partition_steps[p] = e - h_begin;
+
+    // ---- Post-error correction of this partition's head -------------------
+    if (correcting && p > 0 && gpu_of(p) == gpu_of(p - 1) && !prev_ring.empty()) {
+      std::size_t corrected = 0;
+      std::uint64_t cclock = prev_clock;
+      for (std::size_t j = 0; j < head_limit && b + j < e; ++j) {
+        const std::size_t i = b + j;
+        const LazyWindow lw(trace, i, prev_oldest, prev_ring.data(), cap, cclock,
+                            rows);
+        const std::size_t cnt = lw.context_count();
+        if (cnt == head_counts[p][j]) break;  // contexts converged
+        const LatencyPrediction pr = predictor_.predict_lazy(lw);
+        // Replace the head prediction; keep the partition totals consistent.
+        partition_cycles[p] += pr.fetch;
+        partition_cycles[p] -= fetch_lat[i];
+        fetch_lat[i] = pr.fetch;
+        if (opts_.record_predictions) res.predictions[i] = pr;
+        if (opts_.record_context_counts) {
+          res.context_counts[i] = static_cast<std::uint16_t>(cnt);
+        }
+        prev_ring[i % cap] = cclock + pr.fetch + pr.exec + pr.store;
+        cclock += pr.fetch;
+        ++corrected;
+      }
+      res.corrected_instructions += corrected;
+      partition_steps[p - 1] += corrected;  // the *previous* partition re-simulates
+    }
+
+    // Snapshot this partition's end state for correcting the next one.
+    if (correcting) {
+      prev_ring = ring;
+      prev_clock = clock;
+      prev_oldest = h_begin;
+    }
+  }
+
+  for (std::size_t p = 0; p < P; ++p) res.total_cycles += partition_cycles[p];
+
+  // ---- Simulated-time model (lockstep batched inference per GPU) ------------
+  std::size_t flops = predictor_.flops_per_window(rows);
+  if (flops == 0) flops = opts_.assumed_flops_per_window;
+  if (flops == 0) flops = simnet3c2f_flops(rows);
+  const double occ = occupancy.count() ? occupancy.mean() : 0.3;
+  res.sim_time_us = model_parallel_time_us(opts_, partition_steps, flops, occ);
+  return res;
+}
+
+}  // namespace mlsim::core

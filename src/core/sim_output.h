@@ -1,0 +1,49 @@
+// Shared result types for all simulator engines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/window.h"
+
+namespace mlsim::core {
+
+/// Per-instruction average time of each pipeline step (µs).
+struct StepProfile {
+  double queue_push = 0.0;       // copy 1: trace row -> queue
+  double input_construct = 0.0;  // copy 2 / device window construction
+  double h2d = 0.0;              // copy 3: host -> device transfer
+  double transpose = 0.0;        // copy 4: transpose kernel
+  double inference = 0.0;
+  double update_retire = 0.0;
+
+  double total() const {
+    return queue_push + input_construct + h2d + transpose + inference +
+           update_retire;
+  }
+};
+
+struct SimOutput {
+  std::uint64_t cycles = 0;  // final Clock including drain
+  std::size_t instructions = 0;
+  double sim_time_us = 0.0;  // simulated wall time of the simulator itself
+  StepProfile profile;       // per-instruction averages
+  double avg_context_occupancy = 0.0;  // mean valid fraction of the window
+
+  double cpi() const {
+    return instructions
+               ? static_cast<double>(cycles) / static_cast<double>(instructions)
+               : 0.0;
+  }
+  double mips() const {
+    return sim_time_us > 0.0 ? static_cast<double>(instructions) / sim_time_us : 0.0;
+  }
+
+  /// Predicted per-instruction latencies (filled when requested).
+  std::vector<LatencyPrediction> predictions;
+  /// Context-instruction count seen by each prediction (filled when
+  /// requested; drives the parallel-error diagnostics and correction).
+  std::vector<std::uint16_t> context_counts;
+};
+
+}  // namespace mlsim::core

@@ -1,0 +1,123 @@
+#include "core/simulator.h"
+
+#include <sstream>
+
+#include "common/artifacts.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/metrics.h"
+
+namespace mlsim::core {
+
+namespace {
+std::uint64_t machine_fingerprint(const uarch::MachineConfig& m) {
+  // Cheap structural hash over the fields that affect traces/labels.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(m.core.fetch_width);
+  mix(m.core.issue_width);
+  mix(m.core.iq_entries);
+  mix(m.core.rob_entries);
+  mix(m.core.lq_entries);
+  mix(m.core.sq_entries);
+  mix(m.l1i.size_bytes);
+  mix(m.l1i.assoc);
+  mix(m.l1d.size_bytes);
+  mix(m.l1d.assoc);
+  mix(m.l2.size_bytes);
+  mix(m.l2.assoc);
+  mix(static_cast<std::uint64_t>(m.bp.kind));
+  mix(m.bp.choice_bits);
+  mix(m.bp.btb_entries);
+  mix(m.memory_latency);
+  mix(static_cast<std::uint64_t>(m.l1d.replacement) |
+      (static_cast<std::uint64_t>(m.l2.replacement) << 8) |
+      (static_cast<std::uint64_t>(m.l1d.next_line_prefetch) << 16) |
+      (static_cast<std::uint64_t>(m.l2.next_line_prefetch) << 17));
+  return h;
+}
+}  // namespace
+
+trace::EncodedTrace labeled_trace(const std::string& abbr, std::size_t n,
+                                  const uarch::MachineConfig& machine,
+                                  std::uint64_t seed, bool use_cache) {
+  std::ostringstream name;
+  name << "trace_" << abbr << '_' << n << '_' << std::hex
+       << machine_fingerprint(machine) << '_' << seed << ".bin";
+  if (use_cache && artifact_exists(name.str())) {
+    return trace::EncodedTrace::load(artifact_path(name.str()));
+  }
+  const auto& profile = trace::find_workload(abbr);
+  trace::EncodedTrace tr = uarch::make_encoded_trace(profile, n, machine, seed);
+  if (use_cache) tr.save(artifact_path(name.str()));
+  return tr;
+}
+
+MLSimulator::MLSimulator(Options opts)
+    : opts_(std::move(opts)), analytic_(opts_.machine) {}
+
+void MLSimulator::use_cnn(SimNetBundle bundle) {
+  opts_.context_length = bundle.model.config().window - 1;
+  cnn_.emplace(std::move(bundle), opts_.engine);
+}
+
+LatencyPredictor& MLSimulator::predictor() {
+  if (cnn_.has_value()) return *cnn_;
+  return analytic_;
+}
+
+std::size_t MLSimulator::default_flops() const {
+  if (opts_.assumed_flops_per_window != 0) return opts_.assumed_flops_per_window;
+  return simnet3c2f_flops(opts_.context_length + 1);
+}
+
+SimOutput MLSimulator::simulate(const trace::EncodedTrace& trace) {
+  device::Device dev(opts_.gpu);
+  GpuSimOptions o;
+  o.context_length = opts_.context_length;
+  o.batch_n = opts_.batch_n;
+  o.engine = opts_.engine;
+  o.costs.gpu = opts_.gpu;
+  GpuSimulator sim(predictor(), dev, o);
+  return sim.run(trace);
+}
+
+SimOutput MLSimulator::simulate_sequential(const trace::EncodedTrace& trace) {
+  SequentialSimOptions o;
+  o.context_length = opts_.context_length;
+  o.costs.gpu = opts_.gpu;
+  SequentialSimulator sim(predictor(), o);
+  return sim.run(trace);
+}
+
+ParallelSimResult MLSimulator::simulate_parallel(const trace::EncodedTrace& trace,
+                                                 std::size_t num_subtraces,
+                                                 std::size_t num_gpus, bool warmup,
+                                                 bool correction) {
+  ParallelSimOptions o;
+  o.num_subtraces = num_subtraces;
+  o.num_gpus = num_gpus;
+  o.context_length = opts_.context_length;
+  o.warmup = warmup ? opts_.context_length : 0;
+  o.post_error_correction = correction;
+  o.batch_n = opts_.batch_n;
+  o.engine = opts_.engine;
+  o.costs.gpu = opts_.gpu;
+  o.assumed_flops_per_window = default_flops();
+  ParallelSimulator sim(predictor(), o);
+  return sim.run(trace);
+}
+
+double MLSimulator::cpi_error_percent(const trace::EncodedTrace& labeled,
+                                      double simulated_cpi) const {
+  check(labeled.labeled(), "ground truth required for error computation");
+  const double truth =
+      static_cast<double>(total_cycles_from_targets(labeled)) /
+      static_cast<double>(labeled.size());
+  return signed_percent_error(truth, simulated_cpi);
+}
+
+}  // namespace mlsim::core

@@ -1,0 +1,83 @@
+// Top-level convenience API — the front door for examples and benches.
+//
+//   auto trace = mlsim::core::labeled_trace("xz", 100'000);
+//   mlsim::core::MLSimulator sim;                  // analytic predictor
+//   auto out = sim.simulate(trace);                // optimised single device
+//   auto par = sim.simulate_parallel(trace, {...});
+//
+// Lower-level control (custom predictors, ablation toggles, device specs)
+// remains available through the individual headers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/analytic_predictor.h"
+#include "core/cnn_predictor.h"
+#include "core/gpu_sim.h"
+#include "core/parallel_sim.h"
+#include "core/sequential_sim.h"
+#include "uarch/ground_truth.h"
+
+namespace mlsim::core {
+
+/// Generate (or load from the artifact cache) a labeled, encoded trace for
+/// a Table I benchmark: functional simulation → annotation → OoO ground
+/// truth → feature encoding.
+trace::EncodedTrace labeled_trace(const std::string& abbr, std::size_t n,
+                                  const uarch::MachineConfig& machine = {},
+                                  std::uint64_t seed = 1, bool use_cache = true);
+
+class MLSimulator {
+ public:
+  struct Options {
+    uarch::MachineConfig machine;
+    /// Must exceed the ROB (40 entries) for the predictor to see window
+    /// back-pressure; kDefaultContextLength (111) is the paper scale.
+    std::size_t context_length = 64;
+    device::GpuSpec gpu = device::GpuSpec::a100();
+    device::Engine engine = device::Engine::kTensorRTSparse;
+    std::size_t batch_n = 10;
+    /// FLOPs per window assumed by the throughput model when the active
+    /// predictor is analytic (0 = paper 3C+2F estimate for the context).
+    std::size_t assumed_flops_per_window = 0;
+  };
+
+  MLSimulator() : MLSimulator(Options{}) {}
+  explicit MLSimulator(Options opts);
+
+  /// Swap in a trained CNN predictor (takes ownership). The simulator's
+  /// context length is adjusted to the model's window.
+  void use_cnn(SimNetBundle bundle);
+
+  LatencyPredictor& predictor();
+
+  /// Optimised single-device simulation (all §IV optimisations on).
+  SimOutput simulate(const trace::EncodedTrace& trace);
+
+  /// Naive sequential simulation (the Fig. 1 baseline data path).
+  SimOutput simulate_sequential(const trace::EncodedTrace& trace);
+
+  /// Parallel simulation (§V). `warmup`/`correction` default to the paper's
+  /// accuracy-recovery configuration.
+  ParallelSimResult simulate_parallel(const trace::EncodedTrace& trace,
+                                      std::size_t num_subtraces,
+                                      std::size_t num_gpus = 1,
+                                      bool warmup = true, bool correction = true);
+
+  /// CPI error (percent, signed) of a simulation against ground truth.
+  double cpi_error_percent(const trace::EncodedTrace& labeled,
+                           double simulated_cpi) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  std::size_t default_flops() const;
+
+  Options opts_;
+  AnalyticPredictor analytic_;
+  std::optional<CnnPredictor> cnn_;
+};
+
+}  // namespace mlsim::core

@@ -1,0 +1,146 @@
+#include "core/sliding_window.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mlsim::core {
+
+namespace {
+constexpr std::size_t kRowBytes = trace::kNumFeatures * sizeof(std::int32_t);
+}
+
+SlidingWindowQueue::SlidingWindowQueue(std::size_t context_length,
+                                       std::size_t batch_n, device::Device& dev,
+                                       device::StreamId copy_stream,
+                                       bool account_costs)
+    : ctx_len_(context_length),
+      batch_n_(batch_n),
+      dev_(dev),
+      copy_stream_(copy_stream),
+      account_costs_(account_costs),
+      buf_((context_length + 1 + batch_n) * trace::kNumFeatures),
+      retire_clock_(context_length + 1 + batch_n, 0),
+      valid_(context_length + 1 + batch_n, 0) {
+  check(context_length > 0, "context length must be positive");
+  check(batch_n > 0, "batch size must be positive");
+}
+
+std::size_t SlidingWindowQueue::refill(const std::int32_t* rows, std::size_t count) {
+  check(remaining_ == 0, "refill while staged instructions remain");
+  check(count > 0, "refill needs at least one instruction");
+  const std::size_t p0 = batch_n_;  // rightmost window start
+
+  if (primed_) {
+    // Compact: the next instruction's context candidates are the rows
+    // [pos_, pos_+ctx). Move them — relative positions preserved — to the
+    // tail [cap-ctx, cap). dst > src for every row, so copy back-to-front.
+    const std::size_t dst0 = capacity_rows() - ctx_len_;
+    std::size_t live = 0;
+    for (std::size_t r = ctx_len_; r-- > 0;) {
+      const std::size_t src = pos_ + r;
+      const std::size_t dst = dst0 + r;
+      if (src >= capacity_rows()) {
+        valid_[dst] = 0;  // candidate beyond history: stays padding
+        continue;
+      }
+      if (valid_[src] && retire_clock_[src] > clock_) ++live;
+      std::memcpy(buf_.data() + dst * trace::kNumFeatures,
+                  buf_.data() + src * trace::kNumFeatures, kRowBytes);
+      retire_clock_[dst] = retire_clock_[src];
+      valid_[dst] = valid_[src];
+    }
+    // Device cost: only live rows are actually moved by the compaction
+    // kernel (the paper skips copying retired instructions).
+    if (account_costs_) dev_.launch(copy_stream_, 2 * live * kRowBytes, 0, nullptr);
+  }
+  primed_ = true;
+
+  // Stage the batch reversed: batch instruction j lands at p0 - j, so the
+  // newest staged instruction sits at the lowest index (paper Fig. 3).
+  const std::size_t m = std::min(count, batch_n_ + 1);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t slot = p0 - j;
+    std::memcpy(buf_.data() + slot * trace::kNumFeatures,
+                rows + j * trace::kNumFeatures, kRowBytes);
+    retire_clock_[slot] = 0;
+    valid_[slot] = 0;  // becomes a context candidate only once simulated
+  }
+  // Clear unused staging slots so stale rows never leak into windows.
+  for (std::size_t slot = 0; slot + m <= p0; ++slot) valid_[slot] = 0;
+
+  // One H2D transfer for the whole batch (the amortisation the design buys).
+  if (account_costs_) dev_.copy_h2d(nullptr, nullptr, m * kRowBytes, copy_stream_);
+
+  pos_ = p0;
+  remaining_ = m;
+  return m;
+}
+
+void SlidingWindowQueue::build_window(std::vector<std::int32_t>& out) {
+  check(remaining_ > 0, "build_window with no staged instruction");
+  check(!pending_, "build_window called twice without apply_prediction");
+  pending_ = true;
+
+  const std::size_t rows = ctx_len_ + 1;
+  out.assign(rows * trace::kNumFeatures, 0);
+  // Row 0: current instruction (its latency-entry slot is zero in storage —
+  // the encoder reserves it).
+  std::memcpy(out.data(), buf_.data() + pos_ * trace::kNumFeatures, kRowBytes);
+  for (std::size_t r = 1; r < rows; ++r) {
+    const std::size_t s = pos_ + r;
+    if (s >= capacity_rows()) break;
+    if (valid_[s] && retire_clock_[s] > clock_) {
+      auto* dst = out.data() + r * trace::kNumFeatures;
+      std::memcpy(dst, buf_.data() + s * trace::kNumFeatures, kRowBytes);
+      dst[kCtxLatFeature] = remaining_latency(s);
+    }
+  }
+}
+
+std::int32_t SlidingWindowQueue::remaining_latency(std::size_t r) const {
+  if (r >= capacity_rows() || !valid_[r] || retire_clock_[r] <= clock_) return 0;
+  return static_cast<std::int32_t>(
+      std::min<std::uint64_t>(retire_clock_[r] - clock_, kMaxLatencyEntry));
+}
+
+std::size_t SlidingWindowQueue::context_count() const {
+  std::size_t n = 0;
+  for (std::size_t r = 1; r <= ctx_len_; ++r) {
+    const std::size_t s = pos_ + r;
+    if (s >= capacity_rows()) break;
+    n += valid_[s] && retire_clock_[s] > clock_;
+  }
+  return n;
+}
+
+void SlidingWindowQueue::apply_prediction(const LatencyPrediction& p) {
+  check(pending_, "apply_prediction without matching build_window");
+  pending_ = false;
+
+  retire_clock_[pos_] = clock_ + p.fetch + p.exec + p.store;
+  valid_[pos_] = 1;
+  last_retire_ = std::max(last_retire_, retire_clock_[pos_]);
+  clock_ += p.fetch;
+
+  --remaining_;
+  if (remaining_ > 0) --pos_;
+}
+
+void SlidingWindowQueue::reset() {
+  std::fill(retire_clock_.begin(), retire_clock_.end(), 0);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  pos_ = 0;
+  remaining_ = 0;
+  clock_ = 0;
+  last_retire_ = 0;
+  pending_ = false;
+  primed_ = false;
+}
+
+std::uint64_t SlidingWindowQueue::total_cycles_with_drain() const {
+  return std::max(clock_, last_retire_);
+}
+
+}  // namespace mlsim::core

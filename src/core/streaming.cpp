@@ -1,0 +1,56 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlsim::core {
+
+StreamingResult simulate_stream(LatencyPredictor& predictor,
+                                trace::LabeledTraceStream& stream,
+                                std::uint64_t total_instructions,
+                                std::size_t context_length,
+                                std::size_t chunk_size) {
+  check(context_length > 0, "context length must be positive");
+  check(chunk_size > 0, "chunk size must be positive");
+  StreamingResult res;
+  if (total_instructions == 0) return res;
+
+  const std::size_t rows = context_length + 1;
+  const std::size_t cap = context_length;
+  std::vector<std::uint64_t> ring(cap, 0);
+  std::uint64_t clock = 0;
+
+  trace::EncodedTrace buf(stream.benchmark());
+  std::size_t local = 0;  // next buffer row to simulate
+
+  while (res.instructions < total_instructions) {
+    const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+        chunk_size, total_instructions - res.instructions));
+    stream.fill(buf, want);
+
+    for (; local < buf.size(); ++local) {
+      const LazyWindow lw(buf, local, /*oldest=*/0, ring.data(), cap, clock, rows);
+      const LatencyPrediction p = predictor.predict_lazy(lw);
+      ring[local % cap] = clock + p.fetch + p.exec + p.store;
+      clock += p.fetch;
+      res.predicted_cycles += p.fetch;
+      res.truth_cycles += buf.targets(local)[0];
+      ++res.instructions;
+    }
+
+    // Compact: keep at least the context window; drop a multiple of the
+    // ring capacity so (index % cap) stays aligned across the shift.
+    if (buf.size() > context_length) {
+      const std::size_t drop =
+          (buf.size() - context_length) / cap * cap;
+      if (drop > 0) {
+        buf = buf.slice(drop, buf.size());
+        local -= drop;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mlsim::core

@@ -1,0 +1,82 @@
+#include "core/suite.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "device/device.h"
+
+namespace mlsim::core {
+
+std::size_t SuiteReport::total_instructions() const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) n += j.instructions;
+  return n;
+}
+
+double SuiteReport::mips() const {
+  return makespan_us > 0.0
+             ? static_cast<double>(total_instructions()) / makespan_us
+             : 0.0;
+}
+
+double SuiteReport::utilization() const {
+  if (makespan_us <= 0.0 || device_busy_us_.empty()) return 0.0;
+  const double busy =
+      std::accumulate(device_busy_us_.begin(), device_busy_us_.end(), 0.0);
+  return busy / (makespan_us * static_cast<double>(device_busy_us_.size()));
+}
+
+std::vector<std::size_t> lpt_assignment(const std::vector<double>& estimated_costs,
+                                        std::size_t num_devices) {
+  check(num_devices > 0, "need at least one device");
+  std::vector<std::size_t> order(estimated_costs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return estimated_costs[a] > estimated_costs[b];
+  });
+  std::vector<double> load(num_devices, 0.0);
+  std::vector<std::size_t> assignment(estimated_costs.size(), 0);
+  for (const std::size_t j : order) {
+    const std::size_t d = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[j] = d;
+    load[d] += estimated_costs[j];
+  }
+  return assignment;
+}
+
+SuiteReport run_suite(LatencyPredictor& predictor,
+                      const std::vector<SuiteJob>& jobs, std::size_t num_devices,
+                      const GpuSimOptions& options) {
+  check(!jobs.empty(), "suite needs at least one job");
+  for (const auto& j : jobs) check(j.trace != nullptr, "job without a trace");
+
+  std::vector<double> costs;
+  costs.reserve(jobs.size());
+  for (const auto& j : jobs) costs.push_back(static_cast<double>(j.trace->size()));
+  const auto assignment = lpt_assignment(costs, num_devices);
+
+  SuiteReport report;
+  report.devices = num_devices;
+  report.device_busy_us_.assign(num_devices, 0.0);
+  report.jobs.reserve(jobs.size());
+
+  // One modeled device per slot; jobs on a device run back-to-back.
+  std::vector<device::Device> devices(num_devices,
+                                      device::Device(options.costs.gpu));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t d = assignment[j];
+    GpuSimulator sim(predictor, devices[d], options);
+    const SimOutput out = sim.run(*jobs[j].trace);
+    report.jobs.push_back({jobs[j].name, d, out.cpi(), out.sim_time_us,
+                           out.instructions});
+    report.device_busy_us_[d] += out.sim_time_us;
+  }
+  for (double busy : report.device_busy_us_) {
+    report.makespan_us = std::max(report.makespan_us, busy);
+  }
+  return report;
+}
+
+}  // namespace mlsim::core

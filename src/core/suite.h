@@ -1,0 +1,61 @@
+// Multi-benchmark suite scheduling (paper §V-A opening: whole benchmarks
+// are embarrassingly parallel across devices; the interesting machinery is
+// *intra*-benchmark parallelism, but a production simulator also needs the
+// boring part done well).
+//
+// Jobs (one per benchmark trace) are assigned to devices with the classic
+// LPT heuristic — longest (estimated) job first onto the least-loaded
+// device — which is a 4/3-approximation of optimal makespan. Each job then
+// runs the fully-optimised single-device simulator on its device, and the
+// suite report gives per-job results plus makespan/utilisation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gpu_sim.h"
+#include "core/predictor.h"
+#include "trace/trace.h"
+
+namespace mlsim::core {
+
+struct SuiteJob {
+  const trace::EncodedTrace* trace = nullptr;
+  std::string name;
+};
+
+struct SuiteJobResult {
+  std::string name;
+  std::size_t device = 0;
+  double cpi = 0.0;
+  double sim_time_us = 0.0;  // modeled device time of this job
+  std::size_t instructions = 0;
+};
+
+struct SuiteReport {
+  std::vector<SuiteJobResult> jobs;
+  double makespan_us = 0.0;  // slowest device's total
+  std::size_t devices = 0;
+
+  std::size_t total_instructions() const;
+  double mips() const;
+  /// Mean device busy-time over the makespan (1.0 = perfectly balanced).
+  double utilization() const;
+
+ private:
+  friend SuiteReport run_suite(LatencyPredictor&, const std::vector<SuiteJob>&,
+                               std::size_t, const GpuSimOptions&);
+  std::vector<double> device_busy_us_;
+};
+
+/// Simulate all jobs across `num_devices` modeled GPUs (LPT assignment).
+SuiteReport run_suite(LatencyPredictor& predictor,
+                      const std::vector<SuiteJob>& jobs, std::size_t num_devices,
+                      const GpuSimOptions& options = {});
+
+/// LPT assignment by estimated cost (exposed for testing): returns the
+/// device index per job, in job order.
+std::vector<std::size_t> lpt_assignment(const std::vector<double>& estimated_costs,
+                                        std::size_t num_devices);
+
+}  // namespace mlsim::core

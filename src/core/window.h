@@ -1,0 +1,51 @@
+// Inference-window conventions shared by every predictor and simulator.
+//
+// The predictor input is a window of (context_length + 1) feature rows:
+//   row 0            — the to-be-predicted instruction,
+//   rows 1..ctx      — in-flight context instructions, newest to oldest,
+//   remaining rows   — zero padding.
+// Each row is trace::kNumFeatures int32 values. Feature slot
+// kCtxLatFeature (the last one, reserved by the encoder) carries the
+// context instruction's *remaining latency* — cycles until it retires
+// relative to the current Clock — the "latency entry" the paper updates in
+// the first column of the input (Fig. 1 step 4). It is 0 for row 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "trace/encoder.h"
+
+namespace mlsim::core {
+
+/// Feature slot used for the dynamic context-latency entry.
+constexpr std::size_t kCtxLatFeature = trace::kNumFeatures - 1;
+
+/// Remaining-latency values are clamped to this bound before being placed
+/// in the window (keeps the feature scale bounded for the ML model).
+constexpr std::int32_t kMaxLatencyEntry = 255;
+
+/// Default context length (paper: input window of 111 context instructions
+/// plus the current one for the Table II machine).
+constexpr std::size_t kDefaultContextLength = 111;
+
+/// A window is a row-major [rows x kNumFeatures] block of int32.
+struct WindowView {
+  const std::int32_t* data = nullptr;
+  std::size_t rows = 0;  // context_length + 1
+
+  std::span<const std::int32_t> row(std::size_t r) const {
+    return {data + r * trace::kNumFeatures, trace::kNumFeatures};
+  }
+};
+
+/// Three predicted latencies (the model outputs).
+struct LatencyPrediction {
+  std::uint32_t fetch = 0;
+  std::uint32_t exec = 0;
+  std::uint32_t store = 0;
+
+  bool operator==(const LatencyPrediction&) const = default;
+};
+
+}  // namespace mlsim::core

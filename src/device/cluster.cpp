@@ -1,0 +1,35 @@
+#include "device/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlsim::device {
+
+Cluster::Cluster(std::size_t num_gpus, const GpuSpec& spec) {
+  check(num_gpus > 0, "cluster needs at least one GPU");
+  devices_.reserve(num_gpus);
+  for (std::size_t i = 0; i < num_gpus; ++i) devices_.emplace_back(spec);
+}
+
+Device& Cluster::gpu(std::size_t i) {
+  check_index(i, devices_.size(), "gpu index");
+  return devices_[i];
+}
+
+const Device& Cluster::gpu(std::size_t i) const {
+  check_index(i, devices_.size(), "gpu index");
+  return devices_[i];
+}
+
+double Cluster::total_time_us(std::size_t bytes_per_gpu) const {
+  double slowest = 0.0;
+  for (const auto& d : devices_) slowest = std::max(slowest, d.synchronize());
+  return slowest + allreduce_time_us(devices_.size(), bytes_per_gpu);
+}
+
+void Cluster::reset_time() {
+  for (auto& d : devices_) d.reset_time();
+}
+
+}  // namespace mlsim::device

@@ -1,0 +1,35 @@
+// Multi-GPU cluster model (Summit-style nodes) for the scalability study.
+//
+// The parallel simulation scheme requires zero inter-GPU communication
+// during simulation; only a final gather of per-partition Clock values
+// happens at the end (§V-A). A Cluster therefore is just a set of
+// independent Devices plus that gather cost; total simulated time is the
+// slowest device's timeline plus the reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.h"
+
+namespace mlsim::device {
+
+class Cluster {
+ public:
+  Cluster(std::size_t num_gpus, const GpuSpec& spec);
+
+  std::size_t size() const { return devices_.size(); }
+  Device& gpu(std::size_t i);
+  const Device& gpu(std::size_t i) const;
+
+  /// Simulated wall time: slowest device + final Clock gather
+  /// (`bytes_per_gpu` of partition results per device).
+  double total_time_us(std::size_t bytes_per_gpu) const;
+
+  void reset_time();
+
+ private:
+  std::vector<Device> devices_;
+};
+
+}  // namespace mlsim::device

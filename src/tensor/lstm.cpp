@@ -1,0 +1,164 @@
+#include "tensor/lstm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mlsim::tensor {
+
+namespace {
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
+    : in_(input_size),
+      hid_(hidden_size),
+      w_(4 * hidden_size * input_size),
+      u_(4 * hidden_size * hidden_size),
+      b_(4 * hidden_size, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gu_(u_.size(), 0.0f),
+      gb_(b_.size(), 0.0f) {
+  const float bound_w = std::sqrt(1.0f / static_cast<float>(input_size));
+  const float bound_u = std::sqrt(1.0f / static_cast<float>(hidden_size));
+  for (auto& v : w_) v = static_cast<float>(rng.uniform() * 2.0 - 1.0) * bound_w;
+  for (auto& v : u_) v = static_cast<float>(rng.uniform() * 2.0 - 1.0) * bound_u;
+  // Forget-gate bias of 1 stabilises training.
+  for (std::size_t h = hid_; h < 2 * hid_; ++h) b_[h] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(2) == in_, "Lstm input must be (B, T, input)");
+  x_ = x;
+  const std::size_t B = x.dim(0), T = x.dim(1);
+  gates_.assign(T, std::vector<float>(B * 4 * hid_, 0.0f));
+  cells_.assign(T, std::vector<float>(B * hid_, 0.0f));
+  hiddens_.assign(T, std::vector<float>(B * hid_, 0.0f));
+
+  Tensor out({B, T, hid_});
+  std::vector<float> h_prev(B * hid_, 0.0f), c_prev(B * hid_, 0.0f);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    auto& gate = gates_[t];
+    auto& cell = cells_[t];
+    auto& hidden = hiddens_[t];
+    for (std::size_t bi = 0; bi < B; ++bi) {
+      const float* xt = x.data() + (bi * T + t) * in_;
+      const float* hp = h_prev.data() + bi * hid_;
+      const float* cp = c_prev.data() + bi * hid_;
+      float* g = gate.data() + bi * 4 * hid_;
+      float* c = cell.data() + bi * hid_;
+      float* h = hidden.data() + bi * hid_;
+      // Pre-activations for all 4 gates.
+      for (std::size_t r = 0; r < 4 * hid_; ++r) {
+        const float* wr = w_.data() + r * in_;
+        const float* ur = u_.data() + r * hid_;
+        float acc = b_[r];
+        for (std::size_t i = 0; i < in_; ++i) acc += wr[i] * xt[i];
+        for (std::size_t i = 0; i < hid_; ++i) acc += ur[i] * hp[i];
+        g[r] = acc;
+      }
+      for (std::size_t k = 0; k < hid_; ++k) {
+        const float ig = sigmoidf(g[k]);
+        const float fg = sigmoidf(g[hid_ + k]);
+        const float gg = std::tanh(g[2 * hid_ + k]);
+        const float og = sigmoidf(g[3 * hid_ + k]);
+        g[k] = ig;
+        g[hid_ + k] = fg;
+        g[2 * hid_ + k] = gg;
+        g[3 * hid_ + k] = og;
+        c[k] = fg * cp[k] + ig * gg;
+        h[k] = og * std::tanh(c[k]);
+      }
+      float* o = out.data() + (bi * T + t) * hid_;
+      for (std::size_t k = 0; k < hid_; ++k) o[k] = h[k];
+    }
+    h_prev = hidden;
+    c_prev = cell;
+  }
+  return out;
+}
+
+Tensor Lstm::backward(const Tensor& grad_out) {
+  const std::size_t B = x_.dim(0), T = x_.dim(1);
+  Tensor gx({B, T, in_});
+  std::vector<float> dh_next(B * hid_, 0.0f), dc_next(B * hid_, 0.0f);
+
+  for (std::size_t t = T; t-- > 0;) {
+    const auto& gate = gates_[t];
+    const auto& cell = cells_[t];
+    const std::vector<float>* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
+    const std::vector<float>* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
+
+    std::vector<float> dh_prev(B * hid_, 0.0f), dc_prev(B * hid_, 0.0f);
+    for (std::size_t bi = 0; bi < B; ++bi) {
+      const float* g = gate.data() + bi * 4 * hid_;
+      const float* c = cell.data() + bi * hid_;
+      const float* go = grad_out.data() + (bi * T + t) * hid_;
+      float* dhn = dh_next.data() + bi * hid_;
+      float* dcn = dc_next.data() + bi * hid_;
+      const float* xt = x_.data() + (bi * T + t) * in_;
+
+      std::vector<float> dgate(4 * hid_);
+      for (std::size_t k = 0; k < hid_; ++k) {
+        const float ig = g[k], fg = g[hid_ + k], gg = g[2 * hid_ + k],
+                    og = g[3 * hid_ + k];
+        const float tc = std::tanh(c[k]);
+        const float dh = go[k] + dhn[k];
+        const float dc = dh * og * (1.0f - tc * tc) + dcn[k];
+        const float cp = c_prev ? (*c_prev)[bi * hid_ + k] : 0.0f;
+        dgate[k] = dc * gg * ig * (1.0f - ig);                 // d pre_i
+        dgate[hid_ + k] = dc * cp * fg * (1.0f - fg);          // d pre_f
+        dgate[2 * hid_ + k] = dc * ig * (1.0f - gg * gg);      // d pre_g
+        dgate[3 * hid_ + k] = dh * tc * og * (1.0f - og);      // d pre_o
+        dc_prev[bi * hid_ + k] = dc * fg;
+      }
+      float* gxt = gx.data() + (bi * T + t) * in_;
+      const float* hp = h_prev ? h_prev->data() + bi * hid_ : nullptr;
+      for (std::size_t r = 0; r < 4 * hid_; ++r) {
+        const float dg = dgate[r];
+        if (dg == 0.0f) continue;
+        gb_[r] += dg;
+        float* gwr = gw_.data() + r * in_;
+        const float* wr = w_.data() + r * in_;
+        for (std::size_t i = 0; i < in_; ++i) {
+          gwr[i] += dg * xt[i];
+          gxt[i] += dg * wr[i];
+        }
+        float* gur = gu_.data() + r * hid_;
+        const float* ur = u_.data() + r * hid_;
+        float* dhp = dh_prev.data() + bi * hid_;
+        for (std::size_t i = 0; i < hid_; ++i) {
+          if (hp) gur[i] += dg * hp[i];
+          dhp[i] += dg * ur[i];
+        }
+      }
+    }
+    dh_next = std::move(dh_prev);
+    dc_next = std::move(dc_prev);
+  }
+  return gx;
+}
+
+void Lstm::collect_params(std::vector<Param>& out) {
+  out.push_back({&w_, &gw_});
+  out.push_back({&u_, &gu_});
+  out.push_back({&b_, &gb_});
+}
+
+void Lstm::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gu_.begin(), gu_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+Tensor Lstm::last_hidden() const {
+  check(!hiddens_.empty(), "last_hidden before forward");
+  const std::size_t B = x_.dim(0);
+  Tensor h({B, hid_});
+  const auto& last = hiddens_.back();
+  std::copy(last.begin(), last.end(), h.data());
+  return h;
+}
+
+}  // namespace mlsim::tensor

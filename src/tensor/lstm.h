@@ -1,0 +1,50 @@
+// LSTM layer (batched, full BPTT) — the substrate for the Ithemal baseline,
+// which predicts basic-block throughput with hierarchical sequential LSTMs
+// (token layer -> instruction layer -> prediction layer).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace mlsim::tensor {
+
+/// Single-layer LSTM. forward_sequence consumes (B, T, input) and returns
+/// all hidden states (B, T, hidden); the final hidden state is the common
+/// summary embedding.
+class Lstm final : public Layer {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  /// Layer interface: x = (B, T, input) -> (B, T, hidden).
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  void zero_grad() override;
+
+  std::size_t input_size() const { return in_; }
+  std::size_t hidden_size() const { return hid_; }
+
+  /// Final hidden state of the last forward pass: (B, hidden).
+  Tensor last_hidden() const;
+
+  /// FLOPs for a (B, T) forward.
+  std::size_t flops(std::size_t batch, std::size_t steps) const {
+    return 2 * batch * steps * 4 * hid_ * (in_ + hid_);
+  }
+
+ private:
+  std::size_t in_, hid_;
+  // Gate weights packed [i, f, g, o]: W (4H, in), U (4H, hid), b (4H).
+  std::vector<float> w_, u_, b_, gw_, gu_, gb_;
+
+  // Caches for BPTT.
+  Tensor x_;                       // (B, T, in)
+  std::vector<std::vector<float>> gates_;  // per step: (B, 4H) post-activation
+  std::vector<std::vector<float>> cells_;  // per step: (B, H) cell state
+  std::vector<std::vector<float>> hiddens_;  // per step: (B, H)
+};
+
+}  // namespace mlsim::tensor

@@ -1,0 +1,134 @@
+#include "tensor/model.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace mlsim::tensor {
+
+SimNetModel::SimNetModel(const SimNetModelConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
+  Rng rng(seed);
+  conv1_ = std::make_unique<Conv1D>(cfg.in_features, cfg.channels, cfg.kernel, rng);
+  conv2_ = std::make_unique<Conv1D>(cfg.channels, cfg.channels, cfg.kernel, rng);
+  conv3_ = std::make_unique<Conv1D>(cfg.channels, cfg.channels, cfg.kernel, rng);
+  relu1_ = std::make_unique<ReLU>();
+  relu2_ = std::make_unique<ReLU>();
+  relu3_ = std::make_unique<ReLU>();
+  relu4_ = std::make_unique<ReLU>();
+  fc1_ = std::make_unique<Linear>(cfg.channels * cfg.window, cfg.hidden, rng);
+  fc2_ = std::make_unique<Linear>(cfg.hidden, cfg.outputs, rng);
+}
+
+Tensor SimNetModel::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(1) == cfg_.in_features && x.dim(2) == cfg_.window,
+        "SimNetModel input must be (B, in_features, window)");
+  return forward_tail(conv1_->forward(x));
+}
+
+Tensor SimNetModel::forward_tail(const Tensor& conv1_preact) {
+  Tensor h = relu1_->forward(conv1_preact);
+  h = relu2_->forward(conv2_->forward(h));
+  h = relu3_->forward(conv3_->forward(h));
+  const std::size_t B = h.dim(0);
+  h = h.reshaped({B, cfg_.channels * cfg_.window});
+  h = relu4_->forward(fc1_->forward(h));
+  return fc2_->forward(h);
+}
+
+void SimNetModel::backward(const Tensor& grad_out) {
+  Tensor g = fc2_->backward(grad_out);
+  g = fc1_->backward(relu4_->backward(g));
+  const std::size_t B = g.dim(0);
+  g = g.reshaped({B, cfg_.channels, cfg_.window});
+  g = conv3_->backward(relu3_->backward(g));
+  g = conv2_->backward(relu2_->backward(g));
+  conv1_->backward(relu1_->backward(g));
+}
+
+std::vector<Param> SimNetModel::params() {
+  std::vector<Param> out;
+  conv1_->collect_params(out);
+  conv2_->collect_params(out);
+  conv3_->collect_params(out);
+  fc1_->collect_params(out);
+  fc2_->collect_params(out);
+  return out;
+}
+
+void SimNetModel::zero_grad() {
+  conv1_->zero_grad();
+  conv2_->zero_grad();
+  conv3_->zero_grad();
+  fc1_->zero_grad();
+  fc2_->zero_grad();
+}
+
+std::size_t SimNetModel::flops_per_batch(std::size_t batch) const {
+  return conv1_->flops(batch, cfg_.window) + conv2_->flops(batch, cfg_.window) +
+         conv3_->flops(batch, cfg_.window) + fc1_->flops(batch) + fc2_->flops(batch);
+}
+
+namespace {
+constexpr std::uint32_t kModelMagic = 0x4d4c4d44;  // "MLMD"
+
+void write_vec(std::ofstream& os, const std::vector<float>& v) {
+  const auto n = static_cast<std::uint64_t>(v.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void read_vec(std::ifstream& is, std::vector<float>& v) {
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  check(static_cast<bool>(is), "model file truncated");
+  check(n == v.size(), "model parameter size mismatch");
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  check(static_cast<bool>(is), "model file truncated");
+}
+}  // namespace
+
+void SimNetModel::save(const std::filesystem::path& path) const {
+  std::ofstream os(path, std::ios::binary);
+  check(os.is_open(), "cannot open model file for writing: " + path.string());
+  os.write(reinterpret_cast<const char*>(&kModelMagic), sizeof(kModelMagic));
+  os.write(reinterpret_cast<const char*>(&cfg_), sizeof(cfg_));
+  write_vec(os, conv1_->weight());
+  write_vec(os, conv1_->bias());
+  write_vec(os, conv2_->weight());
+  write_vec(os, conv2_->bias());
+  write_vec(os, conv3_->weight());
+  write_vec(os, conv3_->bias());
+  write_vec(os, fc1_->weight());
+  write_vec(os, fc1_->bias());
+  write_vec(os, fc2_->weight());
+  write_vec(os, fc2_->bias());
+  check(static_cast<bool>(os), "model write failed");
+}
+
+SimNetModel SimNetModel::load(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  check(is.is_open(), "cannot open model file: " + path.string());
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  check(magic == kModelMagic, "bad model magic");
+  SimNetModelConfig cfg;
+  is.read(reinterpret_cast<char*>(&cfg), sizeof(cfg));
+  check(static_cast<bool>(is), "model file truncated");
+  SimNetModel m(cfg);
+  read_vec(is, m.conv1_->weight());
+  read_vec(is, m.conv1_->bias());
+  read_vec(is, m.conv2_->weight());
+  read_vec(is, m.conv2_->bias());
+  read_vec(is, m.conv3_->weight());
+  read_vec(is, m.conv3_->bias());
+  read_vec(is, m.fc1_->weight());
+  read_vec(is, m.fc1_->bias());
+  read_vec(is, m.fc2_->weight());
+  read_vec(is, m.fc2_->bias());
+  return m;
+}
+
+}  // namespace mlsim::tensor

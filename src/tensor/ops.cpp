@@ -1,0 +1,232 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mlsim::tensor {
+
+namespace {
+void kaiming_uniform(std::vector<float>& w, std::size_t fan_in, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (auto& v : w) v = static_cast<float>(rng.uniform() * 2.0 - 1.0) * bound;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Conv1D ---
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               Rng& rng)
+    : c_in_(in_channels),
+      c_out_(out_channels),
+      k_(kernel),
+      w_(out_channels * in_channels * kernel),
+      b_(out_channels, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(b_.size(), 0.0f) {
+  check(kernel % 2 == 1, "Conv1D uses odd kernels with 'same' padding");
+  kaiming_uniform(w_, c_in_ * k_, rng);
+}
+
+Tensor Conv1D::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.dim(1) == c_in_, "Conv1D input must be (B, C_in, L)");
+  cached_input_ = x;
+  const std::size_t B = x.dim(0), L = x.dim(2);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor y({B, c_out_, L});
+
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xb = xd + b * c_in_ * L;
+    float* yb = yd + b * c_out_ * L;
+    for (std::size_t co = 0; co < c_out_; ++co) {
+      const float* wrow = w_.data() + co * c_in_ * k_;
+      float* yrow = yb + co * L;
+      for (std::size_t l = 0; l < L; ++l) yrow[l] = b_[co];
+      for (std::size_t ci = 0; ci < c_in_; ++ci) {
+        const float* xrow = xb + ci * L;
+        const float* wk = wrow + ci * k_;
+        for (std::size_t kk = 0; kk < k_; ++kk) {
+          const float wv = wk[kk];
+          if (wv == 0.0f) continue;  // 2:4-pruned weights skip work
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk) - pad;
+          const std::size_t lo = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t hi =
+              off > 0 ? L - static_cast<std::size_t>(off) : L;
+          for (std::size_t l = lo; l < hi; ++l) {
+            yrow[l] += wv * xrow[static_cast<std::size_t>(
+                                static_cast<std::ptrdiff_t>(l) + off)];
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t B = x.dim(0), L = x.dim(2);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor gx({B, c_in_, L});
+
+  const float* xd = x.data();
+  const float* gyd = grad_out.data();
+  float* gxd = gx.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xb = xd + b * c_in_ * L;
+    const float* gyb = gyd + b * c_out_ * L;
+    float* gxb = gxd + b * c_in_ * L;
+    for (std::size_t co = 0; co < c_out_; ++co) {
+      const float* gyrow = gyb + co * L;
+      float* gwrow = gw_.data() + co * c_in_ * k_;
+      float acc_b = 0.0f;
+      for (std::size_t l = 0; l < L; ++l) acc_b += gyrow[l];
+      gb_[co] += acc_b;
+      for (std::size_t ci = 0; ci < c_in_; ++ci) {
+        const float* xrow = xb + ci * L;
+        float* gxrow = gxb + ci * L;
+        const float* wk = w_.data() + (co * c_in_ + ci) * k_;
+        float* gwk = gwrow + ci * k_;
+        for (std::size_t kk = 0; kk < k_; ++kk) {
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kk) - pad;
+          const std::size_t lo = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t hi = off > 0 ? L - static_cast<std::size_t>(off) : L;
+          float acc_w = 0.0f;
+          const float wv = wk[kk];
+          for (std::size_t l = lo; l < hi; ++l) {
+            const std::size_t xi =
+                static_cast<std::size_t>(static_cast<std::ptrdiff_t>(l) + off);
+            acc_w += gyrow[l] * xrow[xi];
+            gxrow[xi] += gyrow[l] * wv;
+          }
+          gwk[kk] += acc_w;
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void Conv1D::collect_params(std::vector<Param>& out) {
+  out.push_back({&w_, &gw_});
+  out.push_back({&b_, &gb_});
+}
+
+void Conv1D::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+std::size_t Conv1D::flops(std::size_t batch, std::size_t length) const {
+  return 2 * batch * c_out_ * c_in_ * k_ * length;
+}
+
+// ---------------------------------------------------------------- Linear ---
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : n_in_(in_features),
+      n_out_(out_features),
+      w_(out_features * in_features),
+      b_(out_features, 0.0f),
+      gw_(w_.size(), 0.0f),
+      gb_(b_.size(), 0.0f) {
+  kaiming_uniform(w_, n_in_, rng);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  check(x.rank() == 2 && x.dim(1) == n_in_, "Linear input must be (B, N_in)");
+  cached_input_ = x;
+  const std::size_t B = x.dim(0);
+  Tensor y({B, n_out_});
+  const float* xd = x.data();
+  float* yd = y.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xb = xd + b * n_in_;
+    float* yb = yd + b * n_out_;
+    for (std::size_t o = 0; o < n_out_; ++o) {
+      const float* wrow = w_.data() + o * n_in_;
+      float acc = b_[o];
+      for (std::size_t i = 0; i < n_in_; ++i) acc += wrow[i] * xb[i];
+      yb[o] = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t B = x.dim(0);
+  Tensor gx({B, n_in_});
+  const float* xd = x.data();
+  const float* gyd = grad_out.data();
+  float* gxd = gx.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    const float* xb = xd + b * n_in_;
+    const float* gyb = gyd + b * n_out_;
+    float* gxb = gxd + b * n_in_;
+    for (std::size_t o = 0; o < n_out_; ++o) {
+      const float g = gyb[o];
+      if (g == 0.0f) continue;
+      gb_[o] += g;
+      float* gwrow = gw_.data() + o * n_in_;
+      const float* wrow = w_.data() + o * n_in_;
+      for (std::size_t i = 0; i < n_in_; ++i) {
+        gwrow[i] += g * xb[i];
+        gxb[i] += g * wrow[i];
+      }
+    }
+  }
+  return gx;
+}
+
+void Linear::collect_params(std::vector<Param>& out) {
+  out.push_back({&w_, &gw_});
+  out.push_back({&b_, &gb_});
+}
+
+void Linear::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+// ------------------------------------------------------------------ ReLU ---
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y = x;
+  for (auto& v : y.flat()) v = v > 0.0f ? v : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor gx = grad_out;
+  auto gxf = gx.flat();
+  auto xf = cached_input_.flat();
+  for (std::size_t i = 0; i < gxf.size(); ++i) {
+    if (xf[i] <= 0.0f) gxf[i] = 0.0f;
+  }
+  return gx;
+}
+
+// ------------------------------------------------------------------ Loss ---
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  check(pred.numel() == target.numel(), "loss shape mismatch");
+  grad = pred;
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  float loss = 0.0f;
+  auto gf = grad.flat();
+  auto pf = pred.flat();
+  auto tf = target.flat();
+  for (std::size_t i = 0; i < pf.size(); ++i) {
+    const float d = pf[i] - tf[i];
+    loss += d * d;
+    gf[i] = d * scale;
+  }
+  return loss / static_cast<float>(pred.numel());
+}
+
+}  // namespace mlsim::tensor

@@ -1,0 +1,35 @@
+// Adam optimiser over registered parameter blocks.
+#pragma once
+
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace mlsim::tensor {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float grad_clip = 0.0f;  // 0 = disabled; otherwise clip by global L2 norm
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param> params, const AdamConfig& cfg = {});
+
+  /// Apply one update using the gradients currently stored in each Param.
+  void step();
+
+  std::size_t num_parameters() const;
+
+ private:
+  std::vector<Param> params_;
+  AdamConfig cfg_;
+  std::vector<std::vector<float>> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace mlsim::tensor

@@ -1,0 +1,63 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/half.h"
+
+namespace mlsim::tensor {
+
+void quantize_half_inplace(std::vector<float>& values) {
+  for (auto& v : values) v = quantize_to_half(v);
+}
+
+void prune_2to4_inplace(std::vector<float>& values) {
+  const std::size_t n = values.size() / 4 * 4;
+  for (std::size_t g = 0; g < n; g += 4) {
+    // Find the two largest magnitudes in the group; zero the others.
+    std::size_t best0 = g, best1 = g + 1;
+    if (std::abs(values[best1]) > std::abs(values[best0])) std::swap(best0, best1);
+    for (std::size_t i = g + 2; i < g + 4; ++i) {
+      if (std::abs(values[i]) > std::abs(values[best0])) {
+        best1 = best0;
+        best0 = i;
+      } else if (std::abs(values[i]) > std::abs(values[best1])) {
+        best1 = i;
+      }
+    }
+    for (std::size_t i = g; i < g + 4; ++i) {
+      if (i != best0 && i != best1) values[i] = 0.0f;
+    }
+  }
+}
+
+double sparsity(const std::vector<float>& values) {
+  if (values.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (float v : values) zeros += v == 0.0f;
+  return static_cast<double>(zeros) / static_cast<double>(values.size());
+}
+
+bool satisfies_2to4(const std::vector<float>& values) {
+  const std::size_t n = values.size() / 4 * 4;
+  for (std::size_t g = 0; g < n; g += 4) {
+    int zeros = 0;
+    for (std::size_t i = g; i < g + 4; ++i) zeros += values[i] == 0.0f;
+    if (zeros < 2) return false;
+  }
+  return true;
+}
+
+void quantize_model_half(SimNetModel& model) {
+  for (auto& p : model.params()) quantize_half_inplace(*p.value);
+}
+
+void prune_model_2to4(SimNetModel& model) {
+  prune_2to4_inplace(model.conv1().weight());
+  prune_2to4_inplace(model.conv2().weight());
+  prune_2to4_inplace(model.conv3().weight());
+  prune_2to4_inplace(model.fc1().weight());
+  prune_2to4_inplace(model.fc2().weight());
+}
+
+}  // namespace mlsim::tensor

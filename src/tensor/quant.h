@@ -1,0 +1,36 @@
+// Model compression used by the paper's inference optimisations (§IV-B):
+//   - half precision: weights/activations stored in fp16 (we emulate the
+//     numerics to measure the accuracy cost; the speed benefit is part of
+//     the device cost model);
+//   - 2:4 structured sparsity: among every four consecutive weights the two
+//     smallest magnitudes are pruned to zero (the pattern Ampere sparse
+//     Tensor Cores accelerate ~2x).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/model.h"
+
+namespace mlsim::tensor {
+
+/// Round every element through IEEE fp16 (in place).
+void quantize_half_inplace(std::vector<float>& values);
+
+/// Apply 2:4 structured pruning in place: for each aligned group of four,
+/// zero the two entries with the smallest |value|.
+void prune_2to4_inplace(std::vector<float>& values);
+
+/// Fraction of zero entries (post-pruning this is >= 0.5 for aligned sizes).
+double sparsity(const std::vector<float>& values);
+
+/// True if every aligned group of four has at least two zeros.
+bool satisfies_2to4(const std::vector<float>& values);
+
+/// Quantise all weights and biases of a model to half precision.
+void quantize_model_half(SimNetModel& model);
+
+/// 2:4-prune all conv/fc weight matrices of a model (biases untouched).
+void prune_model_2to4(SimNetModel& model);
+
+}  // namespace mlsim::tensor

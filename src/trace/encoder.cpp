@@ -1,0 +1,72 @@
+#include "trace/encoder.h"
+
+#include <algorithm>
+
+namespace mlsim::trace {
+
+void FeatureEncoder::reset() {
+  last_writer_.fill(0);
+  count_ = 0;
+  prev_mem_addr_ = 0;
+  has_prev_mem_ = false;
+}
+
+FeatureVector FeatureEncoder::encode(const DynInst& inst, const Annotation& ann) {
+  FeatureVector f{};
+  ++count_;
+
+  f[Feat::kOpClass] = static_cast<std::int32_t>(inst.op);
+  f[Feat::kExecUnit] = static_cast<std::int32_t>(exec_unit_for(inst.op));
+  f[Feat::kBaseLat] = kBaseLatency[static_cast<std::size_t>(inst.op)];
+  f[Feat::kNumSrc] = inst.n_src;
+  f[Feat::kNumDst] = inst.n_dst;
+  for (std::size_t k = 0; k < kMaxSrcRegs; ++k) {
+    f[Feat::kSrc0 + k] = k < inst.n_src ? inst.src[k] : 0;
+  }
+  for (std::size_t k = 0; k < kMaxDstRegs; ++k) {
+    f[Feat::kDst0 + k] = k < inst.n_dst ? inst.dst[k] : 0;
+  }
+  for (std::size_t k = 0; k < inst.n_src && k < kMaxSrcRegs; ++k) {
+    const std::uint8_t r = inst.src[k];
+    if (r != 0 && last_writer_[r] != 0) {
+      const std::uint64_t dist = count_ - last_writer_[r];
+      f[Feat::kDep0 + k] = static_cast<std::int32_t>(std::min<std::uint64_t>(dist, 63));
+    }
+  }
+
+  const bool is_load = inst.op == OpClass::kLoad;
+  const bool is_store = inst.op == OpClass::kStore;
+  f[Feat::kIsLoad] = is_load;
+  f[Feat::kIsStore] = is_store;
+  f[Feat::kSizeLog2] = is_load || is_store ? inst.mem_size_log2 : 0;
+  f[Feat::kFetchLevel] = static_cast<std::int32_t>(ann.fetch_level) - 1;  // 0-based
+  f[Feat::kDataLevel] = static_cast<std::int32_t>(ann.data_level);
+  f[Feat::kItlb] = static_cast<std::int32_t>(ann.itlb_level);
+  f[Feat::kDtlb] = static_cast<std::int32_t>(ann.dtlb_level);
+  f[Feat::kIsBranch] = inst.op == OpClass::kBranch;
+  f[Feat::kMispredicted] = ann.branch_mispredicted;
+  f[Feat::kTaken] = inst.is_taken;
+  f[Feat::kBlockEntry] = inst.block_entry;
+  f[Feat::kPcSlot] = static_cast<std::int32_t>((inst.pc >> 2) & 15);
+  if (is_load || is_store) {
+    f[Feat::kLineOffset] = static_cast<std::int32_t>((inst.mem_addr & 63) >> 3);
+    f[Feat::kBank] = static_cast<std::int32_t>((inst.mem_addr >> 6) & 7);
+    if (has_prev_mem_) {
+      f[Feat::kSameLine] = (inst.mem_addr >> 6) == (prev_mem_addr_ >> 6);
+      f[Feat::kPageCross] = (inst.mem_addr >> 12) != (prev_mem_addr_ >> 12);
+    }
+    prev_mem_addr_ = inst.mem_addr;
+    has_prev_mem_ = true;
+  }
+  f[Feat::kFwdDist] = ann.store_forward_dist;
+  f[Feat::kSerializing] = is_serializing(inst.op);
+  f[Feat::kIsControl] = is_control(inst.op);
+
+  for (std::size_t k = 0; k < inst.n_dst && k < kMaxDstRegs; ++k) {
+    const std::uint8_t r = inst.dst[k];
+    if (r != 0) last_writer_[r] = count_;
+  }
+  return f;
+}
+
+}  // namespace mlsim::trace

@@ -1,0 +1,88 @@
+// Feature encoding: each dynamic instruction becomes an array of
+// kNumFeatures integers (SimNet uses 50 entries per instruction; we keep the
+// same width). Features combine the static properties of the instruction
+// with dynamic processor state carried by its Annotation.
+//
+// Feature layout (index → meaning, all non-negative small integers):
+//   0  op class                         1  exec unit class
+//   2  base exec latency                3  #src regs
+//   4  #dst regs                        5..7  src register ids (0 = none)
+//   8..9  dst register ids              10..12 src dependency distance (≤63)
+//   13 is_load                          14 is_store
+//   15 access size log2                 16 fetch hit level (0 L1 /1 L2 /2 mem)
+//   17 data hit level (0 none..3 mem)   18 iTLB level
+//   19 dTLB level                       20 is conditional branch
+//   21 branch mispredicted              22 branch taken
+//   23 basic-block entry                24 pc slot within fetch line
+//   25 address offset within line       26 address bank (line % 8)
+//   27 store-forward distance (≤63)     28 serialising op
+//   29 is control (branch|jump)         30 same line as previous data access
+//   31 crosses page vs previous access  32..49 reserved (zero)
+//
+// The three prediction targets per instruction are the ground-truth
+// latencies (fetch, execute, store).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/annotation.h"
+#include "trace/isa.h"
+
+namespace mlsim::trace {
+
+constexpr std::size_t kNumFeatures = 50;
+constexpr std::size_t kNumTargets = 3;
+
+/// Indices of noteworthy features (shared with the analytic predictor and
+/// the custom convolution's non-padding detection).
+struct Feat {
+  static constexpr std::size_t kOpClass = 0;
+  static constexpr std::size_t kExecUnit = 1;
+  static constexpr std::size_t kBaseLat = 2;
+  static constexpr std::size_t kNumSrc = 3;
+  static constexpr std::size_t kNumDst = 4;
+  static constexpr std::size_t kSrc0 = 5;
+  static constexpr std::size_t kDst0 = 8;
+  static constexpr std::size_t kDep0 = 10;
+  static constexpr std::size_t kIsLoad = 13;
+  static constexpr std::size_t kIsStore = 14;
+  static constexpr std::size_t kSizeLog2 = 15;
+  static constexpr std::size_t kFetchLevel = 16;
+  static constexpr std::size_t kDataLevel = 17;
+  static constexpr std::size_t kItlb = 18;
+  static constexpr std::size_t kDtlb = 19;
+  static constexpr std::size_t kIsBranch = 20;
+  static constexpr std::size_t kMispredicted = 21;
+  static constexpr std::size_t kTaken = 22;
+  static constexpr std::size_t kBlockEntry = 23;
+  static constexpr std::size_t kPcSlot = 24;
+  static constexpr std::size_t kLineOffset = 25;
+  static constexpr std::size_t kBank = 26;
+  static constexpr std::size_t kFwdDist = 27;
+  static constexpr std::size_t kSerializing = 28;
+  static constexpr std::size_t kIsControl = 29;
+  static constexpr std::size_t kSameLine = 30;
+  static constexpr std::size_t kPageCross = 31;
+};
+
+using FeatureVector = std::array<std::int32_t, kNumFeatures>;
+
+/// Stateful encoder: tracks per-register last writers (dependency
+/// distances) and the previous data access (spatial-locality features).
+/// Encode instructions in program order.
+class FeatureEncoder {
+ public:
+  FeatureVector encode(const DynInst& inst, const Annotation& ann);
+
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kNumArchRegs> last_writer_{};  // 0 = never
+  std::uint64_t count_ = 0;
+  std::uint64_t prev_mem_addr_ = 0;
+  bool has_prev_mem_ = false;
+};
+
+}  // namespace mlsim::trace

@@ -1,0 +1,110 @@
+// Synthetic ISA used by the functional-simulation substrate.
+//
+// The ML-based simulator (like SimNet) never interprets instruction
+// *semantics*; it consumes per-instruction feature vectors. This ISA
+// therefore models exactly the properties that matter for timing: operation
+// class, register operands (dependencies), memory behaviour, and control
+// flow. Values are never computed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mlsim::trace {
+
+/// Operation classes, each with a distinct execution-resource profile.
+enum class OpClass : std::uint8_t {
+  kIntAlu = 0,   // add/sub/logic/shift
+  kIntMult,      // integer multiply
+  kIntDiv,       // integer divide (serialising, long latency)
+  kFpAdd,        // FP add/sub/convert
+  kFpMult,       // FP multiply / FMA
+  kFpDiv,        // FP divide / sqrt
+  kSimdAlu,      // packed SIMD arithmetic
+  kLoad,         // memory read
+  kStore,        // memory write
+  kBranch,       // conditional branch
+  kJump,         // unconditional jump / call / return
+  kNop,          // no-op / fence-like filler
+  kCount,
+};
+
+constexpr std::size_t kNumOpClasses = static_cast<std::size_t>(OpClass::kCount);
+
+std::string_view to_string(OpClass op);
+
+/// Nominal execution latency (cycles) of each op class on the target core
+/// (Table II class machine). Memory ops add cache latency on top.
+constexpr std::array<std::uint8_t, kNumOpClasses> kBaseLatency = {
+    1,   // IntAlu
+    3,   // IntMult
+    20,  // IntDiv
+    3,   // FpAdd
+    4,   // FpMult
+    18,  // FpDiv
+    2,   // SimdAlu
+    1,   // Load (address generation; cache latency added dynamically)
+    1,   // Store (address generation)
+    1,   // Branch
+    1,   // Jump
+    1,   // Nop
+};
+
+/// Execution port / functional-unit class used for issue contention.
+enum class ExecUnit : std::uint8_t {
+  kAlu = 0,
+  kMulDiv,
+  kFp,
+  kMem,
+  kBranchUnit,
+  kCount,
+};
+
+ExecUnit exec_unit_for(OpClass op);
+
+constexpr bool is_memory(OpClass op) {
+  return op == OpClass::kLoad || op == OpClass::kStore;
+}
+constexpr bool is_control(OpClass op) {
+  return op == OpClass::kBranch || op == OpClass::kJump;
+}
+constexpr bool is_serializing(OpClass op) {
+  return op == OpClass::kIntDiv || op == OpClass::kFpDiv;
+}
+
+/// Architectural register file size (register 0 is the hardwired zero
+/// register and never creates dependencies).
+constexpr std::uint8_t kNumArchRegs = 32;
+
+constexpr std::size_t kMaxSrcRegs = 3;
+constexpr std::size_t kMaxDstRegs = 2;
+
+/// How a static memory instruction generates addresses across dynamic
+/// executions.
+enum class AccessPattern : std::uint8_t {
+  kNone = 0,   // not a memory instruction
+  kStream,     // sequential: base + i*stride (prefetch friendly)
+  kStrided,    // large fixed stride (cache antagonistic)
+  kRandom,     // uniform within a region
+  kChase,      // pointer-chase style dependent walk within a region
+  kStack,      // small hot region (spills), nearly always L1 resident
+};
+
+/// One dynamic instruction as produced by functional simulation.
+/// This corresponds to one trace record before feature encoding.
+struct DynInst {
+  std::uint64_t pc = 0;
+  std::uint64_t mem_addr = 0;   // valid iff is_memory(op)
+  std::uint32_t static_idx = 0; // global index of the static instruction
+  OpClass op = OpClass::kNop;
+  std::uint8_t n_src = 0;
+  std::uint8_t n_dst = 0;
+  std::array<std::uint8_t, kMaxSrcRegs> src{};  // register ids (0 = none)
+  std::array<std::uint8_t, kMaxDstRegs> dst{};
+  std::uint8_t mem_size_log2 = 0;  // access size = 1 << mem_size_log2 bytes
+  bool is_taken = false;           // branch outcome (valid iff is_control)
+  bool block_entry = false;        // first instruction of a basic block
+};
+
+}  // namespace mlsim::trace

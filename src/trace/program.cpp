@@ -1,0 +1,242 @@
+#include "trace/program.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace mlsim::trace {
+
+namespace {
+
+constexpr std::uint64_t kTextBase = 0x0040'0000ull;
+constexpr std::uint64_t kHeapBase = 0x1000'0000ull;
+constexpr std::uint64_t kStackBase = 0x7fff'0000ull;
+constexpr std::uint64_t kStackBytes = 4 * 1024;
+
+OpClass sample_op(Rng& rng, const std::vector<double>& cdf) {
+  return static_cast<OpClass>(rng.sample_cdf(cdf));
+}
+
+std::uint64_t floor_pow2(std::uint64_t x) {
+  return x == 0 ? 1 : std::uint64_t{1} << (63 - std::countl_zero(x));
+}
+
+}  // namespace
+
+Program Program::generate(const WorkloadProfile& profile, std::uint64_t seed) {
+  Program prog;
+  Rng rng(profile.seed * 0x9e37'79b9ull + seed);
+
+  // --- Sampling distributions ---------------------------------------------
+  // Exclude control ops from the body mix; control flow is added as block
+  // terminators so its density is set by avg_block_len.
+  std::vector<double> body_weights(kNumOpClasses);
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) body_weights[i] = profile.mix[i];
+  body_weights[static_cast<std::size_t>(OpClass::kBranch)] = 0.0;
+  body_weights[static_cast<std::size_t>(OpClass::kJump)] = 0.0;
+  const auto body_cdf = make_cdf(body_weights);
+
+  const auto pattern_cdf = make_cdf({profile.frac_stream, profile.frac_strided,
+                                     profile.frac_random, profile.frac_chase,
+                                     profile.frac_stack});
+
+  const std::uint64_t ws = std::max<std::uint64_t>(4096, profile.working_set_bytes);
+
+  // Recently-written registers; models producer/consumer locality.
+  std::vector<std::uint8_t> recent_dsts;
+  auto pick_src = [&](Rng& r) -> std::uint8_t {
+    if (!recent_dsts.empty() && r.bernoulli(profile.dep_locality)) {
+      const std::size_t window =
+          std::min<std::size_t>(recent_dsts.size(), profile.dep_window);
+      return recent_dsts[recent_dsts.size() - 1 - r.next_below(window)];
+    }
+    return static_cast<std::uint8_t>(1 + r.next_below(kNumArchRegs - 1));
+  };
+
+  auto make_mem_spec = [&](Rng& r, bool is_store) {
+    MemAccessSpec m;
+    const auto pat = r.sample_cdf(pattern_cdf);
+    m.pattern = static_cast<AccessPattern>(static_cast<int>(AccessPattern::kStream) +
+                                           static_cast<int>(pat));
+    m.size_log2 = static_cast<std::uint8_t>(r.bernoulli(0.3) ? 2 : 3);  // 4B or 8B
+    if (m.pattern == AccessPattern::kStack) {
+      m.region_base = kStackBase;
+      m.region_bytes = kStackBytes;
+      m.stride = 8;
+    } else {
+      // Carve a power-of-two region out of the working set. Streams get long
+      // regions; random/chase get large fractions of the working set so the
+      // footprint actually stresses the cache hierarchy.
+      const bool large = m.pattern == AccessPattern::kRandom ||
+                         m.pattern == AccessPattern::kChase;
+      const std::uint64_t frac = large ? 2 : 4 + r.next_below(4);
+      m.region_bytes = std::max<std::uint64_t>(4096, floor_pow2(ws / frac));
+      const std::uint64_t slots = std::max<std::uint64_t>(1, ws / m.region_bytes);
+      m.region_base = kHeapBase + r.next_below(slots) * m.region_bytes;
+      m.stride = m.pattern == AccessPattern::kStrided
+                     ? std::max<std::uint32_t>(64, profile.stride_bytes)
+                     : (is_store ? 64 : profile.stride_bytes);
+      if (m.pattern == AccessPattern::kStream) m.stride = std::min(m.stride, 64u);
+    }
+    return m;
+  };
+
+  auto fill_body_inst = [&](Rng& r) {
+    StaticInst si;
+    si.op = sample_op(r, body_cdf);
+    switch (si.op) {
+      case OpClass::kLoad:
+        si.n_src = 1;  // base address register
+        si.n_dst = 1;
+        si.src[0] = pick_src(r);
+        si.dst[0] = static_cast<std::uint8_t>(1 + r.next_below(kNumArchRegs - 1));
+        si.mem = make_mem_spec(r, /*is_store=*/false);
+        break;
+      case OpClass::kStore:
+        si.n_src = 2;  // data + base address
+        si.n_dst = 0;
+        si.src[0] = pick_src(r);
+        si.src[1] = pick_src(r);
+        si.mem = make_mem_spec(r, /*is_store=*/true);
+        break;
+      case OpClass::kNop:
+        break;
+      default: {
+        si.n_src = static_cast<std::uint8_t>(1 + r.next_below(2));
+        si.n_dst = 1;
+        for (std::uint8_t k = 0; k < si.n_src; ++k) si.src[k] = pick_src(r);
+        si.dst[0] = static_cast<std::uint8_t>(1 + r.next_below(kNumArchRegs - 1));
+        break;
+      }
+    }
+    for (std::uint8_t k = 0; k < si.n_dst; ++k) recent_dsts.push_back(si.dst[k]);
+    if (recent_dsts.size() > 64) {
+      recent_dsts.erase(recent_dsts.begin(), recent_dsts.begin() + 32);
+    }
+    return si;
+  };
+
+  // --- CFG construction -----------------------------------------------------
+  // The program is an infinite outer loop over `regions`; each region is a
+  // loop whose body is a short chain of blocks, optionally containing a
+  // forward conditional that skips one block (if/else shape).
+  const std::uint32_t n_blocks = std::max<std::uint32_t>(profile.num_blocks, 8);
+  prog.blocks_.reserve(n_blocks + 8);
+
+  auto new_block = [&]() -> std::uint32_t {
+    prog.blocks_.emplace_back();
+    return static_cast<std::uint32_t>(prog.blocks_.size() - 1);
+  };
+
+  auto fill_block = [&](std::uint32_t b, std::uint32_t len) {
+    auto& blk = prog.blocks_[b];
+    for (std::uint32_t i = 0; i + 1 < len; ++i) blk.insts.push_back(fill_body_inst(rng));
+    blk.insts.emplace_back();  // terminator slot, branch spec filled by caller
+  };
+
+  auto block_len = [&](Rng& r) {
+    const std::uint32_t lo = std::max<std::uint32_t>(2, profile.avg_block_len / 2);
+    const std::uint32_t hi = std::max<std::uint32_t>(lo + 1, profile.avg_block_len * 3 / 2);
+    return static_cast<std::uint32_t>(r.uniform_int(lo, hi));
+  };
+
+  const std::uint32_t entry = new_block();
+  prog.entry_ = entry;
+  std::vector<std::uint32_t> region_heads;
+
+  while (prog.blocks_.size() < n_blocks) {
+    // Region: loop head ... body blocks ... back edge.
+    const std::uint32_t head = new_block();
+    region_heads.push_back(head);
+    fill_block(head, block_len(rng));
+
+    const std::uint32_t n_body = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    std::uint32_t prev = head;
+    for (std::uint32_t j = 0; j < n_body; ++j) {
+      const std::uint32_t b = new_block();
+      fill_block(b, block_len(rng));
+      // Terminator of prev: either plain fall-through jump or a conditional
+      // that can skip the next block (diamond).
+      auto& term = prog.blocks_[prev].insts.back();
+      if (j + 1 < n_body && rng.bernoulli(0.45)) {
+        const std::uint32_t skip = new_block();
+        fill_block(skip, block_len(rng));
+        term.op = OpClass::kBranch;
+        term.n_src = 1;
+        term.src[0] = pick_src(rng);
+        term.branch.kind =
+            rng.bernoulli(profile.branch_entropy) ? BranchKind::kDataDep : BranchKind::kBiased;
+        term.branch.taken_prob =
+            term.branch.kind == BranchKind::kDataDep ? 0.5 : profile.branch_bias;
+        term.branch.taken_target = skip;  // taken path goes through `skip`
+        term.branch.fall_target = b;
+        // `skip` falls into `b`.
+        auto& skip_term = prog.blocks_[skip].insts.back();
+        skip_term.op = OpClass::kJump;
+        skip_term.branch.kind = BranchKind::kUncond;
+        skip_term.branch.taken_target = b;
+        skip_term.branch.fall_target = b;
+      } else {
+        term.op = OpClass::kJump;
+        term.branch.kind = BranchKind::kUncond;
+        term.branch.taken_target = b;
+        term.branch.fall_target = b;
+      }
+      prev = b;
+    }
+    // Back edge: loop branch from last body block to head. Fall target is
+    // patched to the next region head afterwards.
+    auto& back = prog.blocks_[prev].insts.back();
+    back.op = OpClass::kBranch;
+    back.n_src = 1;
+    back.src[0] = pick_src(rng);
+    back.branch.kind = BranchKind::kLoop;
+    back.branch.trip_count = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(
+               rng.uniform_int(static_cast<std::int64_t>(profile.avg_loop_trip / 2),
+                               static_cast<std::int64_t>(profile.avg_loop_trip * 2))));
+    back.branch.taken_target = head;
+    back.branch.fall_target = 0;  // patched below
+  }
+
+  // Patch region exits: each region's back edge falls through to the next
+  // region's head; the last region falls back to the first (infinite outer
+  // loop). The entry block jumps to the first region head.
+  check(!region_heads.empty(), "program must contain at least one region");
+  for (std::size_t r = 0; r < region_heads.size(); ++r) {
+    const std::uint32_t next_head = region_heads[(r + 1) % region_heads.size()];
+    // Find this region's back edge: it's the block whose loop branch targets
+    // region_heads[r]. Scan is cheap (generation-time only).
+    for (auto& blk : prog.blocks_) {
+      if (blk.insts.empty()) continue;  // entry block is filled afterwards
+      auto& t = blk.insts.back();
+      if (t.branch.kind == BranchKind::kLoop && t.branch.taken_target == region_heads[r]) {
+        t.branch.fall_target = next_head;
+      }
+    }
+  }
+  {
+    fill_block(entry, std::max<std::uint32_t>(2, profile.avg_block_len / 2));
+    auto& t = prog.blocks_[entry].insts.back();
+    t.op = OpClass::kJump;
+    t.branch.kind = BranchKind::kUncond;
+    t.branch.taken_target = region_heads.front();
+    t.branch.fall_target = region_heads.front();
+  }
+
+  // --- PC assignment and static indices ------------------------------------
+  prog.block_base_.resize(prog.blocks_.size());
+  std::uint64_t pc = kTextBase;
+  std::uint32_t idx = 0;
+  for (std::size_t b = 0; b < prog.blocks_.size(); ++b) {
+    prog.block_base_[b] = idx;
+    prog.blocks_[b].start_pc = pc;
+    idx += static_cast<std::uint32_t>(prog.blocks_[b].insts.size());
+    pc += 4 * prog.blocks_[b].insts.size();
+  }
+  prog.num_static_ = idx;
+  return prog;
+}
+
+}  // namespace mlsim::trace

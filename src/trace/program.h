@@ -1,0 +1,81 @@
+// Static program synthesis: turns a WorkloadProfile into a control-flow
+// graph of basic blocks whose instructions carry realistic register
+// dependency structure, memory access generators and branch behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/isa.h"
+#include "trace/workload.h"
+
+namespace mlsim::trace {
+
+/// Memory access generator attached to a static load/store.
+struct MemAccessSpec {
+  AccessPattern pattern = AccessPattern::kNone;
+  std::uint64_t region_base = 0;   // byte offset in the benchmark address space
+  std::uint64_t region_bytes = 0;  // power-of-two sized region
+  std::uint32_t stride = 64;       // for kStream / kStrided
+  std::uint8_t size_log2 = 3;      // access size (8B default)
+};
+
+/// Branch behaviour of a block-terminating control instruction.
+enum class BranchKind : std::uint8_t {
+  kNone = 0,   // block falls through (no terminator)
+  kLoop,       // taken trip-1 times, then not taken
+  kBiased,     // taken with fixed probability
+  kDataDep,    // effectively random with given probability (hard to predict)
+  kUncond,     // always taken (jump)
+};
+
+struct BranchSpec {
+  BranchKind kind = BranchKind::kNone;
+  double taken_prob = 0.5;       // for kBiased / kDataDep
+  std::uint32_t trip_count = 16; // for kLoop
+  std::uint32_t taken_target = 0;   // block index when taken
+  std::uint32_t fall_target = 0;    // block index when not taken
+};
+
+struct StaticInst {
+  OpClass op = OpClass::kNop;
+  std::uint8_t n_src = 0;
+  std::uint8_t n_dst = 0;
+  std::array<std::uint8_t, kMaxSrcRegs> src{};
+  std::array<std::uint8_t, kMaxDstRegs> dst{};
+  MemAccessSpec mem;
+  BranchSpec branch;  // meaningful only for the block terminator
+};
+
+struct BasicBlock {
+  std::vector<StaticInst> insts;  // last one is the terminator if control
+  std::uint64_t start_pc = 0;
+};
+
+/// A synthesised program: CFG plus entry block.
+class Program {
+ public:
+  Program() = default;
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  std::uint32_t entry_block() const { return entry_; }
+  std::size_t num_static_insts() const { return num_static_; }
+
+  /// Global static index of instruction `i` in block `b`.
+  std::uint32_t static_index(std::uint32_t b, std::uint32_t i) const {
+    return block_base_[b] + i;
+  }
+
+  /// Synthesize a program for a workload profile. `seed` perturbs the
+  /// profile's base seed so distinct runs/inputs can be generated.
+  static Program generate(const WorkloadProfile& profile, std::uint64_t seed = 0);
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::uint32_t> block_base_;  // first static index per block
+  std::uint32_t entry_ = 0;
+  std::size_t num_static_ = 0;
+};
+
+}  // namespace mlsim::trace

@@ -1,0 +1,26 @@
+#include "trace/stream.h"
+
+namespace mlsim::trace {
+
+LabeledTraceStream::LabeledTraceStream(const WorkloadProfile& profile,
+                                       const uarch::MachineConfig& machine,
+                                       std::uint64_t seed)
+    : benchmark_(profile.abbr),
+      program_(std::make_unique<Program>(Program::generate(profile, seed))),
+      fsim_(std::make_unique<FunctionalSim>(*program_, seed)),
+      annotator_(std::make_unique<uarch::Annotator>(machine)),
+      core_(std::make_unique<uarch::OooCore>(machine)) {}
+
+std::size_t LabeledTraceStream::fill(EncodedTrace& out, std::size_t max_rows) {
+  out.reserve(out.size() + max_rows);
+  for (std::size_t i = 0; i < max_rows; ++i) {
+    const DynInst inst = fsim_->next();
+    const Annotation ann = annotator_->annotate(inst);
+    const uarch::InstTiming t = core_->process(inst, ann);
+    out.append(encoder_.encode(inst, ann), t.fetch_lat, t.exec_lat, t.store_lat);
+  }
+  generated_ += max_rows;
+  return max_rows;
+}
+
+}  // namespace mlsim::trace

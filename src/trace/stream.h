@@ -1,0 +1,42 @@
+// Streaming labeled-trace generation with bounded memory.
+//
+// The paper's scalability runs simulate 10-100 *billion* instructions —
+// traces of that size cannot be materialised (100B x 50 x 4B = 20 TB).
+// LabeledTraceStream keeps the whole generation pipeline (program,
+// functional simulator, annotator, ground-truth core, encoder) alive and
+// emits encoded+labeled rows chunk by chunk; downstream consumers hold only
+// one chunk plus their context window.
+#pragma once
+
+#include <memory>
+
+#include "trace/trace.h"
+#include "uarch/ground_truth.h"
+
+namespace mlsim::trace {
+
+class LabeledTraceStream {
+ public:
+  LabeledTraceStream(const WorkloadProfile& profile,
+                     const uarch::MachineConfig& machine = {},
+                     std::uint64_t seed = 1);
+
+  /// Append up to `max_rows` freshly generated labeled rows to `out`
+  /// (which the caller typically clears between chunks). The stream is
+  /// unbounded; the return value always equals max_rows.
+  std::size_t fill(EncodedTrace& out, std::size_t max_rows);
+
+  std::uint64_t generated() const { return generated_; }
+  const std::string& benchmark() const { return benchmark_; }
+
+ private:
+  std::string benchmark_;
+  std::unique_ptr<Program> program_;  // must outlive fsim_
+  std::unique_ptr<FunctionalSim> fsim_;
+  std::unique_ptr<uarch::Annotator> annotator_;
+  std::unique_ptr<uarch::OooCore> core_;
+  FeatureEncoder encoder_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace mlsim::trace

@@ -1,0 +1,199 @@
+#include "trace/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace mlsim::trace {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4d4c5452;  // "MLTR"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionCompressed = 2;
+
+// --- zigzag varint (LEB128) ------------------------------------------------
+
+void write_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+class VarintReader {
+ public:
+  VarintReader(const char* data, std::size_t size) : p_(data), end_(data + size) {}
+
+  std::uint64_t next() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      check(p_ < end_, "compressed trace truncated");
+      const auto byte = static_cast<unsigned char>(*p_++);
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+      check(shift < 64, "varint overflow in trace file");
+    }
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  check(static_cast<bool>(is), "trace file truncated");
+  return v;
+}
+}  // namespace
+
+void EncodedTrace::reserve(std::size_t n) {
+  features_.reserve(n * kNumFeatures);
+  targets_.reserve(n * kNumTargets);
+}
+
+void EncodedTrace::append(const FeatureVector& features, std::uint32_t fetch_lat,
+                          std::uint32_t exec_lat, std::uint32_t store_lat) {
+  features_.insert(features_.end(), features.begin(), features.end());
+  targets_.push_back(fetch_lat);
+  targets_.push_back(exec_lat);
+  targets_.push_back(store_lat);
+  if (fetch_lat || exec_lat || store_lat) labeled_ = true;
+  ++n_;
+}
+
+std::span<const std::int32_t> EncodedTrace::features(std::size_t i) const {
+  check_index(i, n_, "trace row");
+  return {features_.data() + i * kNumFeatures, kNumFeatures};
+}
+
+std::span<const std::uint32_t> EncodedTrace::targets(std::size_t i) const {
+  check_index(i, n_, "trace row");
+  return {targets_.data() + i * kNumTargets, kNumTargets};
+}
+
+EncodedTrace EncodedTrace::slice(std::size_t begin, std::size_t end) const {
+  check(begin <= end && end <= n_, "slice bounds out of range");
+  EncodedTrace out(benchmark_);
+  out.n_ = end - begin;
+  out.labeled_ = labeled_;
+  out.features_.assign(features_.begin() + static_cast<std::ptrdiff_t>(begin * kNumFeatures),
+                       features_.begin() + static_cast<std::ptrdiff_t>(end * kNumFeatures));
+  out.targets_.assign(targets_.begin() + static_cast<std::ptrdiff_t>(begin * kNumTargets),
+                      targets_.begin() + static_cast<std::ptrdiff_t>(end * kNumTargets));
+  return out;
+}
+
+void EncodedTrace::save(const std::filesystem::path& path, bool compress) const {
+  std::ofstream os(path, std::ios::binary);
+  check(os.is_open(), "cannot open trace file for writing: " + path.string());
+  write_pod(os, kMagic);
+  write_pod(os, compress ? kVersionCompressed : kVersion);
+  write_pod(os, static_cast<std::uint64_t>(n_));
+  write_pod(os, static_cast<std::uint32_t>(kNumFeatures));
+  write_pod(os, static_cast<std::uint32_t>(kNumTargets));
+  write_pod(os, static_cast<std::uint8_t>(labeled_));
+  const auto name_len = static_cast<std::uint32_t>(benchmark_.size());
+  write_pod(os, name_len);
+  os.write(benchmark_.data(), name_len);
+
+  if (!compress) {
+    os.write(reinterpret_cast<const char*>(features_.data()),
+             static_cast<std::streamsize>(features_.size() * sizeof(std::int32_t)));
+    os.write(reinterpret_cast<const char*>(targets_.data()),
+             static_cast<std::streamsize>(targets_.size() * sizeof(std::uint32_t)));
+    check(static_cast<bool>(os), "trace write failed: " + path.string());
+    return;
+  }
+
+  // v2: per row, the count of meaningful (non-trailing-zero) features
+  // followed by their zigzag varints; then the three target varints.
+  std::string payload;
+  payload.reserve(n_ * (kNumFeatures + kNumTargets));
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::int32_t* row = features_.data() + i * kNumFeatures;
+    std::size_t used = kNumFeatures;
+    while (used > 0 && row[used - 1] == 0) --used;
+    write_varint(payload, used);
+    for (std::size_t c = 0; c < used; ++c) write_varint(payload, zigzag(row[c]));
+    for (std::size_t k = 0; k < kNumTargets; ++k) {
+      write_varint(payload, targets_[i * kNumTargets + k]);
+    }
+  }
+  const auto payload_size = static_cast<std::uint64_t>(payload.size());
+  write_pod(os, payload_size);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  check(static_cast<bool>(os), "trace write failed: " + path.string());
+}
+
+EncodedTrace EncodedTrace::load(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  check(is.is_open(), "cannot open trace file: " + path.string());
+  check(read_pod<std::uint32_t>(is) == kMagic, "bad trace magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  check(version == kVersion || version == kVersionCompressed,
+        "unsupported trace version");
+  const auto n = read_pod<std::uint64_t>(is);
+  check(read_pod<std::uint32_t>(is) == kNumFeatures, "feature width mismatch");
+  check(read_pod<std::uint32_t>(is) == kNumTargets, "target width mismatch");
+  const bool labeled = read_pod<std::uint8_t>(is) != 0;
+  const auto name_len = read_pod<std::uint32_t>(is);
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+
+  EncodedTrace out(name);
+  out.n_ = n;
+  out.labeled_ = labeled;
+  out.features_.resize(n * kNumFeatures);
+  out.targets_.resize(n * kNumTargets);
+
+  if (version == kVersion) {
+    is.read(reinterpret_cast<char*>(out.features_.data()),
+            static_cast<std::streamsize>(out.features_.size() * sizeof(std::int32_t)));
+    is.read(reinterpret_cast<char*>(out.targets_.data()),
+            static_cast<std::streamsize>(out.targets_.size() * sizeof(std::uint32_t)));
+    check(static_cast<bool>(is), "trace file truncated: " + path.string());
+    return out;
+  }
+
+  const auto payload_size = read_pod<std::uint64_t>(is);
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  check(static_cast<bool>(is), "trace file truncated: " + path.string());
+  VarintReader reader(payload.data(), payload.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t used = reader.next();
+    check(used <= kNumFeatures, "corrupt row width in trace file");
+    std::int32_t* row = out.features_.data() + i * kNumFeatures;
+    for (std::size_t c = 0; c < used; ++c) {
+      row[c] = static_cast<std::int32_t>(unzigzag(reader.next()));
+    }
+    for (std::size_t k = 0; k < kNumTargets; ++k) {
+      out.targets_[i * kNumTargets + k] =
+          static_cast<std::uint32_t>(reader.next());
+    }
+  }
+  return out;
+}
+
+}  // namespace mlsim::trace

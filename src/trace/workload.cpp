@@ -1,0 +1,239 @@
+#include "trace/workload.h"
+
+#include <string_view>
+
+#include "common/check.h"
+
+namespace mlsim::trace {
+
+std::string_view to_string(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return "IntAlu";
+    case OpClass::kIntMult: return "IntMult";
+    case OpClass::kIntDiv: return "IntDiv";
+    case OpClass::kFpAdd: return "FpAdd";
+    case OpClass::kFpMult: return "FpMult";
+    case OpClass::kFpDiv: return "FpDiv";
+    case OpClass::kSimdAlu: return "SimdAlu";
+    case OpClass::kLoad: return "Load";
+    case OpClass::kStore: return "Store";
+    case OpClass::kBranch: return "Branch";
+    case OpClass::kJump: return "Jump";
+    case OpClass::kNop: return "Nop";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+ExecUnit exec_unit_for(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu:
+    case OpClass::kSimdAlu:
+    case OpClass::kNop:
+      return ExecUnit::kAlu;
+    case OpClass::kIntMult:
+    case OpClass::kIntDiv:
+      return ExecUnit::kMulDiv;
+    case OpClass::kFpAdd:
+    case OpClass::kFpMult:
+    case OpClass::kFpDiv:
+      return ExecUnit::kFp;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      return ExecUnit::kMem;
+    case OpClass::kBranch:
+    case OpClass::kJump:
+      return ExecUnit::kBranchUnit;
+    case OpClass::kCount:
+      break;
+  }
+  return ExecUnit::kAlu;
+}
+
+namespace {
+
+// Convenience builder: mix entries in OpClass order
+// {IntAlu, IntMult, IntDiv, FpAdd, FpMult, FpDiv, SimdAlu, Load, Store,
+//  Branch, Jump, Nop}.
+WorkloadProfile make(std::string name, std::string abbr, std::uint64_t seed,
+                     std::array<double, kNumOpClasses> mix,
+                     std::uint64_t ws_kb, double f_stream, double f_strided,
+                     double f_random, double f_chase, double f_stack,
+                     std::uint32_t stride, double bias, double entropy,
+                     std::uint32_t block_len, std::uint32_t trip,
+                     double dep_loc, std::uint32_t dep_win,
+                     std::uint32_t blocks) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.abbr = std::move(abbr);
+  p.seed = seed;
+  p.mix = mix;
+  p.working_set_bytes = ws_kb * 1024;
+  p.frac_stream = f_stream;
+  p.frac_strided = f_strided;
+  p.frac_random = f_random;
+  p.frac_chase = f_chase;
+  p.frac_stack = f_stack;
+  p.stride_bytes = stride;
+  p.branch_bias = bias;
+  p.branch_entropy = entropy;
+  p.avg_block_len = block_len;
+  p.avg_loop_trip = trip;
+  p.dep_locality = dep_loc;
+  p.dep_window = dep_win;
+  p.num_blocks = blocks;
+  return p;
+}
+
+std::vector<BenchmarkInfo> build_suite() {
+  std::vector<BenchmarkInfo> s;
+  auto add = [&s](WorkloadProfile p, Split split) {
+    s.push_back(BenchmarkInfo{std::move(p), split});
+  };
+
+  // ---- Training split (perl, gcc, bwav, namd) ----------------------------
+  // perlbench: branchy integer interpreter, moderate working set.
+  add(make("500.perlbench", "perl", 101,
+           {0.42, 0.02, 0.004, 0.01, 0.01, 0.001, 0.01, 0.24, 0.11, 0.15, 0.035, 0.01},
+           4096, 0.30, 0.10, 0.35, 0.15, 0.10, 64, 0.80, 0.25, 6, 12, 0.55, 8, 160),
+      Split::kTrain);
+  // gcc: compiler — irregular pointer-heavy integer code.
+  add(make("502.gcc", "gcc", 102,
+           {0.40, 0.02, 0.005, 0.005, 0.005, 0.001, 0.004, 0.26, 0.12, 0.14, 0.04, 0.01},
+           8192, 0.25, 0.10, 0.35, 0.20, 0.10, 64, 0.78, 0.30, 6, 10, 0.50, 8, 200),
+      Split::kTrain);
+  // bwaves: streaming FP stencil, long blocks, predictable branches.
+  add(make("503.bwaves", "bwav", 103,
+           {0.18, 0.01, 0.001, 0.22, 0.22, 0.01, 0.04, 0.22, 0.07, 0.025, 0.004, 0.01},
+           32768, 0.80, 0.10, 0.05, 0.00, 0.05, 64, 0.97, 0.03, 20, 128, 0.70, 12, 64),
+      Split::kTrain);
+  // namd: molecular dynamics — FP-dense, cache resident.
+  add(make("508.namd", "namd", 104,
+           {0.20, 0.02, 0.001, 0.24, 0.26, 0.02, 0.05, 0.13, 0.05, 0.025, 0.004, 0.00},
+           1024, 0.55, 0.15, 0.20, 0.00, 0.10, 64, 0.95, 0.05, 16, 64, 0.72, 10, 80),
+      Split::kTrain);
+
+  // ---- Test split (17 benchmarks) ----------------------------------------
+  // cactuBSSN: FP stencil with big strides.
+  add(make("507.cactuBSSN", "bssn", 105,
+           {0.20, 0.01, 0.001, 0.24, 0.24, 0.015, 0.03, 0.18, 0.06, 0.02, 0.004, 0.00},
+           16384, 0.55, 0.30, 0.05, 0.00, 0.10, 256, 0.96, 0.04, 24, 96, 0.68, 12, 72),
+      Split::kTest);
+  // lbm: lattice Boltzmann — extreme streaming, memory bound.
+  add(make("519.lbm", "lbm", 106,
+           {0.14, 0.005, 0.000, 0.24, 0.25, 0.005, 0.02, 0.22, 0.10, 0.015, 0.003, 0.00},
+           65536, 0.90, 0.05, 0.00, 0.00, 0.05, 64, 0.99, 0.01, 32, 256, 0.65, 12, 48),
+      Split::kTest);
+  // wrf: weather — mixed FP, medium locality.
+  add(make("521.wrf", "wrf", 107,
+           {0.22, 0.015, 0.002, 0.20, 0.20, 0.01, 0.03, 0.19, 0.07, 0.05, 0.01, 0.00},
+           24576, 0.60, 0.15, 0.15, 0.00, 0.10, 128, 0.93, 0.07, 14, 48, 0.66, 10, 120),
+      Split::kTest);
+  // xalancbmk: XML — pointer chasing + virtual dispatch.
+  add(make("523.xalancbmk", "xala", 108,
+           {0.38, 0.01, 0.002, 0.005, 0.005, 0.001, 0.005, 0.28, 0.10, 0.16, 0.05, 0.01},
+           12288, 0.20, 0.05, 0.30, 0.30, 0.15, 64, 0.82, 0.22, 5, 8, 0.48, 6, 220),
+      Split::kTest);
+  // x264: video encode — SIMD-heavy, strided macroblock access.
+  add(make("525.x264", "x264", 109,
+           {0.26, 0.02, 0.002, 0.05, 0.06, 0.004, 0.22, 0.22, 0.09, 0.06, 0.014, 0.00},
+           6144, 0.55, 0.25, 0.10, 0.00, 0.10, 128, 0.90, 0.10, 12, 24, 0.62, 10, 140),
+      Split::kTest);
+  // blender: render — mixed FP/int, irregular.
+  add(make("526.blender", "blen", 110,
+           {0.28, 0.02, 0.003, 0.14, 0.15, 0.01, 0.05, 0.20, 0.08, 0.06, 0.012, 0.00},
+           10240, 0.40, 0.15, 0.25, 0.10, 0.10, 64, 0.88, 0.12, 10, 20, 0.58, 8, 160),
+      Split::kTest);
+  // cam4: climate — FP with scattered access.
+  add(make("527.cam4", "cam4", 111,
+           {0.24, 0.015, 0.002, 0.19, 0.19, 0.012, 0.03, 0.19, 0.07, 0.05, 0.01, 0.00},
+           20480, 0.50, 0.20, 0.20, 0.00, 0.10, 192, 0.92, 0.08, 14, 40, 0.64, 10, 128),
+      Split::kTest);
+  // nab: molecular modelling — FP compute dense, small WS.
+  add(make("544.nab", "nab", 112,
+           {0.22, 0.02, 0.002, 0.23, 0.24, 0.02, 0.04, 0.13, 0.05, 0.03, 0.006, 0.00},
+           2048, 0.60, 0.15, 0.15, 0.00, 0.10, 64, 0.94, 0.06, 16, 56, 0.70, 10, 88),
+      Split::kTest);
+  // exchange2: puzzle solver — pure integer, deep recursion, branchy,
+  // cache resident (highest parallel-sim error in Fig. 6).
+  add(make("548.exchange2", "exch", 113,
+           {0.52, 0.02, 0.003, 0.00, 0.00, 0.000, 0.00, 0.17, 0.09, 0.16, 0.04, 0.00},
+           512, 0.25, 0.05, 0.30, 0.00, 0.40, 64, 0.75, 0.30, 5, 6, 0.45, 5, 180),
+      Split::kTest);
+  // fotonik3d: FDTD — streaming FP, memory bound.
+  add(make("549.fotonik3d", "foto", 114,
+           {0.16, 0.01, 0.001, 0.24, 0.24, 0.008, 0.03, 0.21, 0.08, 0.02, 0.004, 0.00},
+           49152, 0.85, 0.08, 0.02, 0.00, 0.05, 64, 0.98, 0.02, 28, 192, 0.66, 12, 56),
+      Split::kTest);
+  // xz: compression — integer, data-dependent branches, match-finding.
+  add(make("557.xz", "xz", 115,
+           {0.40, 0.02, 0.003, 0.00, 0.00, 0.000, 0.01, 0.26, 0.10, 0.16, 0.04, 0.01},
+           16384, 0.30, 0.10, 0.40, 0.10, 0.10, 64, 0.76, 0.35, 6, 10, 0.52, 7, 150),
+      Split::kTest);
+  // specrand_f: tiny RNG loop, trivially cache resident.
+  add(make("997.specrand_f", "spef", 116,
+           {0.34, 0.10, 0.01, 0.16, 0.16, 0.01, 0.00, 0.08, 0.04, 0.08, 0.02, 0.01},
+           64, 0.40, 0.00, 0.20, 0.00, 0.40, 64, 0.92, 0.08, 8, 1000, 0.75, 6, 24),
+      Split::kTest);
+  // mcf: graph optimisation — the classic pointer-chasing memory hog.
+  add(make("505.mcf", "mcf", 117,
+           {0.34, 0.01, 0.002, 0.00, 0.00, 0.000, 0.00, 0.31, 0.09, 0.18, 0.04, 0.01},
+           131072, 0.10, 0.05, 0.25, 0.50, 0.10, 64, 0.84, 0.18, 6, 12, 0.50, 6, 100),
+      Split::kTest);
+  // imagick: image processing — SIMD + streaming rows.
+  add(make("538.imagick", "imag", 118,
+           {0.24, 0.02, 0.003, 0.14, 0.16, 0.01, 0.14, 0.17, 0.07, 0.04, 0.01, 0.00},
+           8192, 0.70, 0.15, 0.05, 0.00, 0.10, 64, 0.94, 0.06, 18, 80, 0.68, 10, 96),
+      Split::kTest);
+  // roms: ocean model — streaming FP with strided planes.
+  add(make("554.roms", "roms", 119,
+           {0.18, 0.01, 0.001, 0.23, 0.23, 0.01, 0.03, 0.20, 0.08, 0.025, 0.005, 0.00},
+           40960, 0.70, 0.20, 0.00, 0.00, 0.10, 512, 0.97, 0.03, 22, 112, 0.66, 12, 64),
+      Split::kTest);
+  // deepsjeng: chess — integer search, unpredictable branches.
+  add(make("531.deepsjeng", "deep", 120,
+           {0.46, 0.03, 0.004, 0.00, 0.00, 0.000, 0.01, 0.20, 0.08, 0.17, 0.04, 0.01},
+           3072, 0.25, 0.05, 0.40, 0.05, 0.25, 64, 0.72, 0.40, 5, 6, 0.46, 6, 190),
+      Split::kTest);
+  // specrand_i: tiny integer RNG loop.
+  add(make("999.specrand_i", "spei", 121,
+           {0.44, 0.12, 0.01, 0.00, 0.00, 0.000, 0.00, 0.08, 0.04, 0.08, 0.02, 0.21},
+           64, 0.40, 0.00, 0.20, 0.00, 0.40, 64, 0.92, 0.08, 8, 1000, 0.75, 6, 24),
+      Split::kTest);
+
+  return s;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& spec2017_suite() {
+  static const std::vector<BenchmarkInfo> suite = build_suite();
+  return suite;
+}
+
+const WorkloadProfile& find_workload(const std::string& abbr) {
+  for (const auto& b : spec2017_suite()) {
+    if (b.profile.abbr == abbr) return b.profile;
+  }
+  check(false, "unknown benchmark abbreviation: " + abbr);
+  // Unreachable; check throws.
+  return spec2017_suite().front().profile;
+}
+
+std::vector<std::string> test_benchmarks() {
+  std::vector<std::string> out;
+  for (const auto& b : spec2017_suite()) {
+    if (b.split == Split::kTest) out.push_back(b.profile.abbr);
+  }
+  return out;
+}
+
+std::vector<std::string> train_benchmarks() {
+  std::vector<std::string> out;
+  for (const auto& b : spec2017_suite()) {
+    if (b.split == Split::kTrain) out.push_back(b.profile.abbr);
+  }
+  return out;
+}
+
+}  // namespace mlsim::trace

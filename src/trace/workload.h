@@ -1,0 +1,76 @@
+// SPEC CPU2017-like workload profiles (Table I of the paper).
+//
+// We cannot redistribute SPEC traces, so each benchmark is replaced by a
+// parameterised synthetic workload whose instruction mix, working-set size,
+// memory-access patterns, branch behaviour and ILP are chosen to span the
+// same qualitative space (pointer-chasing mcf, streaming lbm/bwaves, branchy
+// integer exchange2/deepsjeng, SIMD-heavy x264, ...). The downstream
+// pipeline — encoding, ground-truth timing, ML training, parallel
+// simulation — is identical to what real traces would exercise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/isa.h"
+
+namespace mlsim::trace {
+
+/// Knobs describing one synthetic benchmark.
+struct WorkloadProfile {
+  std::string name;    // e.g. "505.mcf"
+  std::string abbr;    // e.g. "mcf"
+  std::uint64_t seed;  // base seed; combined with user seed
+
+  // Instruction mix weights, indexed by OpClass (branch/jump weights control
+  // control-flow density; loads/stores control memory density).
+  std::array<double, kNumOpClasses> mix{};
+
+  // Memory behaviour.
+  std::uint64_t working_set_bytes = 1 << 20;
+  double frac_stream = 0.5;   // of memory instructions
+  double frac_strided = 0.2;
+  double frac_random = 0.2;
+  double frac_chase = 0.0;    // remainder after stack fraction
+  double frac_stack = 0.1;
+  std::uint32_t stride_bytes = 64;
+
+  // Control flow.
+  double branch_bias = 0.85;       // probability the dominant direction is taken
+  double branch_entropy = 0.15;    // fraction of data-dependent (hard) branches
+  std::uint32_t avg_block_len = 8; // instructions per basic block
+  std::uint32_t avg_loop_trip = 32;
+
+  // Data dependencies.
+  double dep_locality = 0.6;   // P(src produced by one of the last dep_window insts)
+  std::uint32_t dep_window = 8;
+
+  // Program shape.
+  std::uint32_t num_blocks = 96;   // static basic blocks
+};
+
+/// Whether a benchmark is in the paper's training split ({perl, gcc, bwav,
+/// namd}) or the 17-benchmark test split.
+enum class Split { kTrain, kTest };
+
+struct BenchmarkInfo {
+  WorkloadProfile profile;
+  Split split;
+};
+
+/// The 21 benchmarks of Table I.
+const std::vector<BenchmarkInfo>& spec2017_suite();
+
+/// Lookup by abbreviation ("mcf", "xz", ...). Throws CheckError if unknown.
+const WorkloadProfile& find_workload(const std::string& abbr);
+
+/// Abbreviations of the 17 test benchmarks (paper evaluation set), in
+/// suite order.
+std::vector<std::string> test_benchmarks();
+
+/// Abbreviations of the 4 training benchmarks.
+std::vector<std::string> train_benchmarks();
+
+}  // namespace mlsim::trace

@@ -1,0 +1,101 @@
+#include "uarch/branch_predictor.h"
+
+namespace mlsim::uarch {
+
+namespace {
+inline void saturating_update(std::uint8_t& ctr, bool up) {
+  if (up) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+}
+}  // namespace
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& cfg)
+    : cfg_(cfg),
+      choice_(std::size_t{1} << cfg.choice_bits, 1),
+      taken_bank_(std::size_t{1} << cfg.direction_bits, 2),
+      ntaken_bank_(std::size_t{1} << cfg.direction_bits, 1),
+      local_hist_(cfg.local_history_entries, 0),
+      btb_tag_(cfg.btb_entries, ~0ull),
+      btb_target_(cfg.btb_entries, 0) {}
+
+std::uint32_t BranchPredictor::choice_index(std::uint64_t pc) const {
+  return static_cast<std::uint32_t>((pc >> 2) & ((1ull << cfg_.choice_bits) - 1));
+}
+
+std::uint32_t BranchPredictor::direction_index(std::uint64_t pc) const {
+  const std::uint64_t mask = (1ull << cfg_.direction_bits) - 1;
+  const std::uint64_t hist_mask = (1ull << cfg_.history_bits) - 1;
+  switch (cfg_.kind) {
+    case BranchPredictorKind::kBimodal:
+      return static_cast<std::uint32_t>((pc >> 2) & mask);
+    case BranchPredictorKind::kGshare:
+    case BranchPredictorKind::kBiMode:
+      return static_cast<std::uint32_t>(((pc >> 2) ^ (history_ & hist_mask)) & mask);
+    case BranchPredictorKind::kLocal: {
+      const std::uint16_t lh =
+          local_hist_[(pc >> 2) % local_hist_.size()];
+      return static_cast<std::uint32_t>(((pc >> 2) ^ (lh & hist_mask)) & mask);
+    }
+  }
+  return 0;
+}
+
+// For the single-PHT kinds (gshare/local/bimodal) the "taken bank" doubles
+// as the PHT; the not-taken bank and choice table are unused.
+bool BranchPredictor::predict(std::uint64_t pc) const {
+  const std::uint32_t di = direction_index(pc);
+  if (cfg_.kind == BranchPredictorKind::kBiMode) {
+    const bool use_taken_bank = choice_[choice_index(pc)] >= 2;
+    const auto& bank = use_taken_bank ? taken_bank_ : ntaken_bank_;
+    return bank[di] >= 2;
+  }
+  return taken_bank_[di] >= 2;
+}
+
+bool BranchPredictor::update(std::uint64_t pc, bool taken) {
+  ++lookups_;
+  const std::uint32_t di = direction_index(pc);
+  bool correct;
+  if (cfg_.kind == BranchPredictorKind::kBiMode) {
+    const std::uint32_t ci = choice_index(pc);
+    const bool use_taken_bank = choice_[ci] >= 2;
+    auto& bank = use_taken_bank ? taken_bank_ : ntaken_bank_;
+    const bool predicted = bank[di] >= 2;
+    correct = predicted == taken;
+    // Bi-mode update rule: the selected bank always trains; the choice PHT
+    // trains unless the selected bank was correct while disagreeing with
+    // the choice direction (partial update).
+    saturating_update(bank[di], taken);
+    if (!(correct && predicted != use_taken_bank)) {
+      saturating_update(choice_[ci], taken);
+    }
+  } else {
+    const bool predicted = taken_bank_[di] >= 2;
+    correct = predicted == taken;
+    saturating_update(taken_bank_[di], taken);
+  }
+  if (!correct) ++mispredicts_;
+
+  history_ = (history_ << 1) | static_cast<std::uint64_t>(taken);
+  if (cfg_.kind == BranchPredictorKind::kLocal) {
+    std::uint16_t& lh = local_hist_[(pc >> 2) % local_hist_.size()];
+    lh = static_cast<std::uint16_t>((lh << 1) | (taken ? 1 : 0));
+  }
+  return correct;
+}
+
+bool BranchPredictor::btb_hit(std::uint64_t pc) const {
+  const std::size_t idx = (pc >> 2) % btb_tag_.size();
+  return btb_tag_[idx] == pc;
+}
+
+void BranchPredictor::btb_insert(std::uint64_t pc, std::uint64_t target) {
+  const std::size_t idx = (pc >> 2) % btb_tag_.size();
+  btb_tag_[idx] = pc;
+  btb_target_[idx] = target;
+}
+
+}  // namespace mlsim::uarch

@@ -1,0 +1,60 @@
+// Branch direction predictors with a direct-mapped BTB.
+//
+// The Table II machine uses bi-mode (Lee/Chen/Mudge): the direction PHT is
+// split into a "taken" bank and a "not-taken" bank selected by a per-PC
+// choice PHT, separating the destructive aliasing of biased branches.
+// Gshare, per-branch local-history, and plain bimodal predictors are also
+// provided — "branch predictor algorithm" is one of the Table IV
+// design-space axes that require only re-tracing, never retraining.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace mlsim::uarch {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& cfg = {});
+
+  /// Predict direction for a conditional branch at `pc`.
+  bool predict(std::uint64_t pc) const;
+
+  /// Update tables with the actual outcome; returns whether the earlier
+  /// prediction for this pc/history would have been correct.
+  bool update(std::uint64_t pc, bool taken);
+
+  /// BTB lookup: true if the target of the branch at `pc` is known. Unknown
+  /// targets redirect the front end even for correctly-predicted branches.
+  bool btb_hit(std::uint64_t pc) const;
+  void btb_insert(std::uint64_t pc, std::uint64_t target);
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t mispredicts() const { return mispredicts_; }
+  double mispredict_rate() const {
+    return lookups_ ? static_cast<double>(mispredicts_) / static_cast<double>(lookups_)
+                    : 0.0;
+  }
+
+ private:
+  std::uint32_t choice_index(std::uint64_t pc) const;
+  std::uint32_t direction_index(std::uint64_t pc) const;
+
+  BranchPredictorConfig cfg_;
+  std::vector<std::uint8_t> choice_;     // bi-mode: 2-bit choice counters
+  std::vector<std::uint8_t> taken_bank_; // bi-mode taken bank / shared PHT
+  std::vector<std::uint8_t> ntaken_bank_;
+  std::vector<std::uint16_t> local_hist_;  // kLocal per-branch histories
+  std::vector<std::uint64_t> btb_tag_;
+  std::vector<std::uint64_t> btb_target_;
+  std::uint64_t history_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+/// Historical name for the Table II default.
+using BiModePredictor = BranchPredictor;
+
+}  // namespace mlsim::uarch

@@ -1,0 +1,155 @@
+#include "uarch/cache.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mlsim::uarch {
+
+Cache::Cache(const CacheConfig& cfg, const char* /*name*/) : cfg_(cfg) {
+  check(cfg.line_bytes > 0 && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
+        "cache line size must be a power of two");
+  check(cfg.assoc > 0, "cache associativity must be positive");
+  num_sets_ = std::max<std::size_t>(1, cfg.size_bytes / cfg.line_bytes / cfg.assoc);
+  lines_.resize(num_sets_ * cfg.assoc);
+  mshrs_.resize(std::max<std::uint32_t>(1, cfg.mshrs));
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t laddr = line_addr(addr);
+  const std::size_t set = set_index(laddr);
+  const Line* base = &lines_[set * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == laddr) return true;
+  }
+  return false;
+}
+
+CacheAccessResult Cache::access(std::uint64_t addr, std::uint64_t now,
+                                std::uint64_t fill_ready, bool is_write) {
+  ++tick_;
+  const std::uint64_t laddr = line_addr(addr);
+  const std::size_t set = set_index(laddr);
+  Line* base = &lines_[set * cfg_.assoc];
+
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == laddr) {
+      ++hits_;
+      ln.lru = tick_;
+      if (is_write) ln.dirty = true;
+      // Tagged prefetching: the first demand touch of a prefetched line
+      // keeps the stream running by prefetching the next one.
+      if (ln.prefetched) {
+        ln.prefetched = false;
+        if (cfg_.next_line_prefetch) prefetch_line(laddr + 1);
+      }
+      return {.hit = true, .ready_cycle = now + cfg_.latency, .mshr_merge = false};
+    }
+  }
+
+  // Miss path. First look for an in-flight MSHR for the same line.
+  ++misses_;
+  for (auto& m : mshrs_) {
+    if (m.busy && m.ready <= now) m.busy = false;  // retire completed fills
+  }
+  for (auto& m : mshrs_) {
+    if (m.busy && m.line_addr == laddr) {
+      // Secondary miss: data arrives with the outstanding fill.
+      return {.hit = false, .ready_cycle = std::max(m.ready, now + cfg_.latency),
+              .mshr_merge = true};
+    }
+  }
+
+  // Allocate an MSHR; if all busy, serialise behind the soonest-free one.
+  Mshr* slot = nullptr;
+  std::uint64_t earliest_free = ~0ull;
+  for (auto& m : mshrs_) {
+    if (!m.busy) {
+      slot = &m;
+      break;
+    }
+    earliest_free = std::min(earliest_free, m.ready);
+  }
+  std::uint64_t start = now;
+  if (slot == nullptr) {
+    start = std::max(now, earliest_free);
+    for (auto& m : mshrs_) {
+      if (m.ready == earliest_free) {
+        slot = &m;
+        break;
+      }
+    }
+  }
+  check(slot != nullptr, "MSHR allocation failed");
+  const std::uint64_t ready = fill_ready + (start - now);
+  slot->busy = true;
+  slot->line_addr = laddr;
+  slot->ready = ready;
+
+  Line* victim = select_victim(base, addr);
+  victim->valid = true;
+  victim->tag = laddr;
+  victim->lru = tick_;
+  victim->fill_order = fill_tick_++;
+  victim->dirty = is_write;
+  victim->prefetched = false;
+
+  // Tagged next-line prefetch: a demand miss pulls in the following line.
+  if (cfg_.next_line_prefetch) prefetch_line(laddr + 1);
+
+  return {.hit = false, .ready_cycle = ready, .mshr_merge = false};
+}
+
+void Cache::prefetch_line(std::uint64_t laddr) {
+  const std::size_t set = set_index(laddr);
+  Line* base = &lines_[set * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == laddr) return;  // already resident
+  }
+  Line* victim = select_victim(base, laddr * cfg_.line_bytes);
+  victim->valid = true;
+  victim->tag = laddr;
+  victim->lru = tick_;
+  victim->fill_order = fill_tick_++;
+  victim->dirty = false;
+  victim->prefetched = true;
+  ++prefetches_;
+}
+
+Cache::Line* Cache::select_victim(Line* base, std::uint64_t addr) {
+  // Invalid ways first, regardless of policy.
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (!base[w].valid) return &base[w];
+  }
+  switch (cfg_.replacement) {
+    case ReplacementPolicy::kLru: {
+      Line* victim = base;
+      for (std::uint32_t w = 1; w < cfg_.assoc; ++w) {
+        if (base[w].lru < victim->lru) victim = &base[w];
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kFifo: {
+      Line* victim = base;
+      for (std::uint32_t w = 1; w < cfg_.assoc; ++w) {
+        if (base[w].fill_order < victim->fill_order) victim = &base[w];
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kRandom: {
+      // Deterministic pseudo-random way from the access address + clock.
+      std::uint64_t h = addr * 0x9e3779b97f4a7c15ull ^ tick_;
+      h ^= h >> 29;
+      return &base[h % cfg_.assoc];
+    }
+  }
+  return base;
+}
+
+void Cache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mlsim::uarch

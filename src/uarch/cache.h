@@ -1,0 +1,86 @@
+// Set-associative cache with true-LRU replacement and MSHR-based miss
+// tracking. Used for L1I, L1D and the shared L2.
+//
+// MSHRs model miss-level parallelism: a miss to a line that already has an
+// outstanding MSHR entry piggybacks on it (secondary miss) rather than
+// issuing a second fill; when all MSHRs are busy the miss serialises behind
+// the oldest one, adding visible latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace mlsim::uarch {
+
+/// Result of a timed cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  /// Cycle at which the requested data is available.
+  std::uint64_t ready_cycle = 0;
+  /// True if the miss merged into an existing MSHR (secondary miss).
+  bool mshr_merge = false;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg, const char* name = "cache");
+
+  /// Timed access at `now`. On a miss, `fill_ready` is the cycle the next
+  /// level delivers the line (caller computes it by querying the next
+  /// level / memory). Returns hit/miss and the data-ready cycle, accounting
+  /// for MSHR occupancy.
+  ///
+  /// Usage contract: call probe() first to learn hit/miss, compute the fill
+  /// time if needed, then call access() exactly once per reference.
+  bool probe(std::uint64_t addr) const;
+  CacheAccessResult access(std::uint64_t addr, std::uint64_t now,
+                           std::uint64_t fill_ready, bool is_write);
+
+  const CacheConfig& config() const { return cfg_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) / static_cast<double>(total) : 0.0;
+  }
+
+  void reset_stats();
+
+  std::uint64_t prefetches() const { return prefetches_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;         // access timestamp (LRU)
+    std::uint64_t fill_order = 0;  // fill timestamp (FIFO)
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;  // tagged prefetch: untouched prefetch line
+  };
+
+  void prefetch_line(std::uint64_t laddr);
+  struct Mshr {
+    std::uint64_t line_addr = ~0ull;
+    std::uint64_t ready = 0;  // fill-complete cycle
+    bool busy = false;
+  };
+
+  std::uint64_t line_addr(std::uint64_t addr) const { return addr / cfg_.line_bytes; }
+  std::size_t set_index(std::uint64_t laddr) const { return laddr % num_sets_; }
+  Line* select_victim(Line* base, std::uint64_t addr);
+
+  CacheConfig cfg_;
+  std::size_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * assoc, row-major by set
+  std::vector<Mshr> mshrs_;
+  std::uint64_t tick_ = 0;       // LRU clock
+  std::uint64_t fill_tick_ = 0;  // FIFO clock
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t prefetches_ = 0;
+};
+
+}  // namespace mlsim::uarch

@@ -1,0 +1,106 @@
+// Trace annotation and ground-truth label generation.
+//
+// Annotator runs the branch predictor, cache hierarchy and TLBs over the
+// functional instruction stream and attaches the dynamic-state features the
+// ML model consumes (this is the cheap step that Table IV exploits for
+// design-space exploration: changing cache/BP structures only re-runs this).
+//
+// The ground-truth pipeline then feeds (instruction, annotation) into the
+// OooCore timing model to produce the three latency labels used for
+// training and for every "error vs. cycle-accurate simulator" experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/annotation.h"
+#include "trace/functional_sim.h"
+#include "trace/isa.h"
+#include "trace/trace.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/cache.h"
+#include "uarch/config.h"
+#include "uarch/ooo_core.h"
+#include "uarch/tlb.h"
+
+namespace mlsim::uarch {
+
+/// Runs the structural machine models over the dynamic stream to produce
+/// per-instruction annotations. Pseudo-time is the dynamic instruction
+/// index, which is sufficient for MSHR merge behaviour.
+class Annotator {
+ public:
+  explicit Annotator(const MachineConfig& cfg = {});
+
+  trace::Annotation annotate(const trace::DynInst& inst);
+
+  const BiModePredictor& branch_predictor() const { return bp_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+
+ private:
+  trace::HitLevel lookup_data(std::uint64_t addr, bool is_write);
+  trace::HitLevel lookup_fetch(std::uint64_t pc);
+
+  MachineConfig cfg_;
+  BiModePredictor bp_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  std::uint64_t now_ = 0;  // pseudo-time
+
+  struct StoreRecord {
+    std::uint64_t addr = 0;
+    std::uint64_t index = 0;
+    std::uint8_t size_log2 = 0;
+  };
+  std::vector<StoreRecord> store_window_;
+  std::size_t store_head_ = 0;
+};
+
+/// One fully-labeled trace record.
+struct LabeledInst {
+  trace::DynInst inst;
+  trace::Annotation ann;
+  InstTiming timing;
+};
+
+struct LabeledTrace {
+  std::string benchmark;
+  MachineConfig machine;
+  std::vector<LabeledInst> records;
+
+  std::size_t size() const { return records.size(); }
+
+  /// Ground-truth CPI: total fetch-latency cycles (plus final drain) over
+  /// the instruction count.
+  double cpi() const;
+  std::uint64_t total_cycles() const;
+};
+
+/// Generate `n` instructions of benchmark `profile`, annotate them and label
+/// them with OooCore ground truth.
+LabeledTrace generate_labeled_trace(const trace::WorkloadProfile& profile,
+                                    std::size_t n,
+                                    const MachineConfig& machine = {},
+                                    std::uint64_t seed = 1);
+
+/// Annotate only (no timing labels) — the deployment path used when the ML
+/// simulator replaces the cycle-level model, and for Table IV re-tracing.
+std::vector<LabeledInst> annotate_trace(const std::vector<trace::DynInst>& insts,
+                                        const MachineConfig& machine = {});
+
+/// Feature-encode a labeled trace (keeps ground-truth targets).
+trace::EncodedTrace encode_trace(const LabeledTrace& labeled);
+
+/// One-call pipeline: functional sim → annotate → label → encode.
+trace::EncodedTrace make_encoded_trace(const trace::WorkloadProfile& profile,
+                                       std::size_t n,
+                                       const MachineConfig& machine = {},
+                                       std::uint64_t seed = 1);
+
+}  // namespace mlsim::uarch

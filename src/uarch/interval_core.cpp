@@ -1,0 +1,54 @@
+#include "uarch/interval_core.h"
+
+namespace mlsim::uarch {
+
+using trace::Annotation;
+using trace::DynInst;
+using trace::HitLevel;
+using trace::OpClass;
+
+IntervalCore::IntervalCore(const MachineConfig& cfg) : cfg_(cfg) {}
+
+std::uint64_t IntervalCore::process(const DynInst& inst, const Annotation& ann) {
+  const std::uint64_t before = cycles();
+  ++insts_;
+  ++base_slots_;
+
+  // Branch misprediction: full frontend refill.
+  if (trace::is_control(inst.op) && ann.branch_mispredicted) {
+    penalty_cycles_ += cfg_.bp.mispredict_penalty + cfg_.core.frontend_depth;
+  }
+
+  // Long-latency loads: charge the memory latency unless a previous miss is
+  // still outstanding within the same ROB window (MLP overlap).
+  if (inst.op == OpClass::kLoad &&
+      (ann.data_level == HitLevel::kL2 || ann.data_level == HitLevel::kMemory)) {
+    const std::uint64_t lat = ann.data_level == HitLevel::kL2
+                                  ? cfg_.l2.latency
+                                  : cfg_.l2.latency + cfg_.memory_latency;
+    if (insts_ - last_miss_inst_ > cfg_.core.rob_entries) {
+      penalty_cycles_ += lat;
+    }
+    last_miss_inst_ = insts_;
+  }
+
+  // Instruction-fetch misses stall the front end directly.
+  if (ann.fetch_level == HitLevel::kL2) {
+    penalty_cycles_ += cfg_.l2.latency / 4;  // amortised across the fetch line
+  } else if (ann.fetch_level == HitLevel::kMemory) {
+    penalty_cycles_ += (cfg_.l2.latency + cfg_.memory_latency) / 4;
+  }
+
+  // Serialising instructions drain the window.
+  if (trace::is_serializing(inst.op)) {
+    penalty_cycles_ += trace::kBaseLatency[static_cast<std::size_t>(inst.op)];
+  }
+  return cycles() - before;
+}
+
+std::uint64_t IntervalCore::cycles() const {
+  // Steady state: dispatch_width instructions per cycle.
+  return base_slots_ / cfg_.core.issue_width + penalty_cycles_;
+}
+
+}  // namespace mlsim::uarch

@@ -1,0 +1,78 @@
+// Machine-configuration presets.
+//
+// table2() is the paper's target processor; the others span the design
+// space the ML simulator is meant to explore: a small efficiency core, a
+// wide server core, and an A64FX-like HPC core (the paper validates its
+// accuracy claim against a gem5 A64FX model, §VI-A).
+#pragma once
+
+#include "uarch/config.h"
+
+namespace mlsim::uarch {
+
+/// The paper's Table II machine (defaults of MachineConfig).
+inline MachineConfig table2() { return MachineConfig{}; }
+
+/// Small efficiency core: narrow pipeline, small windows and caches.
+inline MachineConfig little_core() {
+  MachineConfig m;
+  m.core.fetch_width = 2;
+  m.core.issue_width = 2;
+  m.core.commit_width = 2;
+  m.core.iq_entries = 8;
+  m.core.rob_entries = 16;
+  m.core.lq_entries = 8;
+  m.core.sq_entries = 8;
+  m.core.frontend_depth = 4;
+  m.l1i.size_bytes = 16 * 1024;
+  m.l1d.size_bytes = 16 * 1024;
+  m.l2.size_bytes = 256 * 1024;
+  m.l2.assoc = 8;
+  m.bp.choice_bits = 10;
+  m.bp.direction_bits = 10;
+  m.bp.mispredict_penalty = 8;
+  return m;
+}
+
+/// Wide server core: deeper windows, larger caches, longer refill.
+inline MachineConfig big_core() {
+  MachineConfig m;
+  m.core.fetch_width = 6;
+  m.core.issue_width = 12;
+  m.core.commit_width = 12;
+  m.core.iq_entries = 120;
+  m.core.rob_entries = 256;
+  m.core.lq_entries = 72;
+  m.core.sq_entries = 56;
+  m.core.frontend_depth = 8;
+  m.l1i.size_bytes = 64 * 1024;
+  m.l1i.assoc = 8;
+  m.l1d.size_bytes = 48 * 1024;
+  m.l1d.assoc = 12;
+  m.l2.size_bytes = 2 * 1024 * 1024;
+  m.bp.mispredict_penalty = 16;
+  m.memory_latency = 130;
+  return m;
+}
+
+/// A64FX-like HPC core (4-wide, 128-entry ROB, 64KB L1D, 8MB shared L2,
+/// no L3) — the configuration class the paper's accuracy validation uses.
+inline MachineConfig a64fx_like() {
+  MachineConfig m;
+  m.core.fetch_width = 4;
+  m.core.issue_width = 4;
+  m.core.commit_width = 4;
+  m.core.iq_entries = 48;
+  m.core.rob_entries = 128;
+  m.core.lq_entries = 40;
+  m.core.sq_entries = 24;
+  m.l1d.size_bytes = 64 * 1024;
+  m.l1d.assoc = 4;
+  m.l1d.latency = 5;
+  m.l2.size_bytes = 8 * 1024 * 1024;
+  m.l2.latency = 37;
+  m.memory_latency = 145;
+  return m;
+}
+
+}  // namespace mlsim::uarch

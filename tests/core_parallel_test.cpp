@@ -1,0 +1,243 @@
+// Parallel simulation tests (paper §V): equivalence to sequential for one
+// sub-trace, oracle negative control, error growth with partition count,
+// and the warmup / post-error-correction recovery ladder.
+#include <gtest/gtest.h>
+
+#include "core/analytic_predictor.h"
+#include "core/parallel_sim.h"
+#include "core/predictor.h"
+#include "core/sequential_sim.h"
+#include "core/simulator.h"
+
+namespace mlsim::core {
+namespace {
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+double sequential_cpi(LatencyPredictor& pred, const trace::EncodedTrace& tr,
+                      std::size_t ctx) {
+  ParallelSimOptions o;
+  o.num_subtraces = 1;
+  o.context_length = ctx;
+  ParallelSimulator sim(pred, o);
+  return sim.run(tr).cpi();
+}
+
+TEST(ParallelSim, SingleSubtraceMatchesSequentialSimulator) {
+  trace::EncodedTrace tr = make_trace("xz", 4000);
+  AnalyticPredictor pred;
+  const std::size_t ctx = 16;
+
+  SequentialSimOptions sopts;
+  sopts.context_length = ctx;
+  sopts.record_predictions = true;
+  SequentialSimulator seq(pred, sopts);
+  const SimOutput expected = seq.run(tr);
+  std::uint64_t seq_cycles = 0;
+  for (const auto& p : expected.predictions) seq_cycles += p.fetch;
+
+  ParallelSimOptions popts;
+  popts.num_subtraces = 1;
+  popts.context_length = ctx;
+  popts.record_predictions = true;
+  ParallelSimulator par(pred, popts);
+  const ParallelSimResult got = par.run(tr);
+
+  EXPECT_EQ(got.total_cycles, seq_cycles);
+  ASSERT_EQ(got.predictions.size(), expected.predictions.size());
+  for (std::size_t i = 0; i < got.predictions.size(); ++i) {
+    ASSERT_EQ(got.predictions[i], expected.predictions[i]) << "at " << i;
+  }
+}
+
+TEST(ParallelSim, OraclePredictorImmuneToPartitioning) {
+  // Negative control: a context-independent predictor must show exactly
+  // zero parallel-simulation error, whatever the partition count.
+  trace::EncodedTrace tr = make_trace("xz", 4000);
+  OraclePredictor oracle(tr);
+  const double seq = sequential_cpi(oracle, tr, 16);
+  for (std::size_t p : {2u, 8u, 64u}) {
+    ParallelSimOptions o;
+    o.num_subtraces = p;
+    o.context_length = 16;
+    ParallelSimulator sim(oracle, o);
+    EXPECT_DOUBLE_EQ(sim.run(tr).cpi(), seq) << p << " subtraces";
+  }
+}
+
+TEST(ParallelSim, ErrorGrowsWithSubtraceCount) {
+  // Paper Fig. 6: more sub-traces -> more lost context -> more error.
+  trace::EncodedTrace tr = make_trace("exch", 20000);
+  AnalyticPredictor pred;
+  const std::size_t ctx = 32;
+  const double seq = sequential_cpi(pred, tr, ctx);
+
+  double prev_err = 0.0;
+  for (std::size_t p : {10u, 40u, 160u, 640u}) {
+    ParallelSimOptions o;
+    o.num_subtraces = p;
+    o.context_length = ctx;
+    ParallelSimulator sim(pred, o);
+    const double err =
+        std::abs(ParallelSimulator::cpi_error_percent(seq, sim.run(tr).cpi()));
+    EXPECT_GE(err, prev_err * 0.5) << p;  // broadly increasing
+    prev_err = err;
+  }
+  EXPECT_GT(prev_err, 1.0);  // at 640 partitions of ~31 instrs: real error
+}
+
+TEST(ParallelSim, WarmupReducesError) {
+  trace::EncodedTrace tr = make_trace("mcf", 20000);
+  AnalyticPredictor pred;
+  const std::size_t ctx = 32;
+  const double seq = sequential_cpi(pred, tr, ctx);
+
+  ParallelSimOptions bare;
+  bare.num_subtraces = 100;
+  bare.context_length = ctx;
+  ParallelSimulator sim_bare(pred, bare);
+  const double err_bare =
+      std::abs(ParallelSimulator::cpi_error_percent(seq, sim_bare.run(tr).cpi()));
+
+  ParallelSimOptions warm = bare;
+  warm.warmup = ctx;
+  ParallelSimulator sim_warm(pred, warm);
+  const auto warm_res = sim_warm.run(tr);
+  const double err_warm =
+      std::abs(ParallelSimulator::cpi_error_percent(seq, warm_res.cpi()));
+
+  EXPECT_LT(err_warm, err_bare);
+  EXPECT_EQ(warm_res.warmup_instructions, 99u * ctx);  // none before part. 0
+}
+
+TEST(ParallelSim, CorrectionReducesErrorBeyondWarmup) {
+  trace::EncodedTrace tr = make_trace("mcf", 20000);
+  AnalyticPredictor pred;
+  const std::size_t ctx = 32;
+  const double seq = sequential_cpi(pred, tr, ctx);
+
+  ParallelSimOptions warm;
+  warm.num_subtraces = 100;
+  warm.context_length = ctx;
+  warm.warmup = ctx;
+  ParallelSimulator sim_warm(pred, warm);
+  const double err_warm =
+      std::abs(ParallelSimulator::cpi_error_percent(seq, sim_warm.run(tr).cpi()));
+
+  ParallelSimOptions corr = warm;
+  corr.post_error_correction = true;
+  corr.correction_limit = 100;
+  ParallelSimulator sim_corr(pred, corr);
+  const auto corr_res = sim_corr.run(tr);
+  const double err_corr =
+      std::abs(ParallelSimulator::cpi_error_percent(seq, corr_res.cpi()));
+
+  EXPECT_LE(err_corr, err_warm + 1e-9);
+  EXPECT_GT(corr_res.corrected_instructions, 0u);
+}
+
+TEST(ParallelSim, FirstPartitionPerGpuNeverCorrected) {
+  trace::EncodedTrace tr = make_trace("xz", 8000);
+  AnalyticPredictor pred;
+  ParallelSimOptions o;
+  o.num_subtraces = 8;
+  o.num_gpus = 4;  // partitions {0,1},{2,3},{4,5},{6,7}
+  o.context_length = 16;
+  o.warmup = 16;
+  o.post_error_correction = true;
+  o.record_predictions = true;
+  ParallelSimulator sim(pred, o);
+  const auto res = sim.run(tr);
+  // With 4 GPUs only partitions 1,3,5,7 are correctable; with 1 GPU all of
+  // 1..7 are. More GPUs -> fewer corrected instructions.
+  ParallelSimOptions o1 = o;
+  o1.num_gpus = 1;
+  ParallelSimulator sim1(pred, o1);
+  const auto res1 = sim1.run(tr);
+  EXPECT_LE(res.corrected_instructions, res1.corrected_instructions);
+}
+
+TEST(ParallelSim, BoundariesPartitionWholeTrace) {
+  trace::EncodedTrace tr = make_trace("xz", 1003);
+  AnalyticPredictor pred;
+  ParallelSimOptions o;
+  o.num_subtraces = 7;
+  o.context_length = 8;
+  ParallelSimulator sim(pred, o);
+  const auto res = sim.run(tr);
+  ASSERT_EQ(res.boundaries.size(), 8u);
+  EXPECT_EQ(res.boundaries.front(), 0u);
+  EXPECT_EQ(res.boundaries.back(), tr.size());
+  for (std::size_t p = 0; p + 1 < res.boundaries.size(); ++p) {
+    EXPECT_LT(res.boundaries[p], res.boundaries[p + 1]);
+  }
+}
+
+TEST(ParallelSim, MoreGpusGiveHigherModeledThroughput) {
+  trace::EncodedTrace tr = make_trace("xz", 40000);
+  AnalyticPredictor pred;
+  double prev_mips = 0.0;
+  for (std::size_t g : {1u, 2u, 4u, 8u}) {
+    ParallelSimOptions o;
+    o.num_subtraces = 256;
+    o.num_gpus = g;
+    o.context_length = 16;
+    o.warmup = 16;
+    o.assumed_flops_per_window = 3'000'000;
+    ParallelSimulator sim(pred, o);
+    const double mips = sim.run(tr).mips();
+    EXPECT_GT(mips, prev_mips) << g << " GPUs";
+    prev_mips = mips;
+  }
+}
+
+TEST(ParallelSim, BatchedInferenceBeatsSingleSubtrace) {
+  // The whole point of partitioning: one sub-trace leaves the device
+  // starved; many sub-traces amortise every per-step overhead.
+  trace::EncodedTrace tr = make_trace("xz", 40000);
+  AnalyticPredictor pred;
+  auto mips_for = [&](std::size_t p) {
+    ParallelSimOptions o;
+    o.num_subtraces = p;
+    o.context_length = 16;
+    o.assumed_flops_per_window = 3'000'000;
+    ParallelSimulator sim(pred, o);
+    return sim.run(tr).mips();
+  };
+  EXPECT_GT(mips_for(1024), mips_for(1) * 2);
+}
+
+TEST(ParallelSim, MoreSubtracesThanInstructionsClamps) {
+  trace::EncodedTrace tr = make_trace("xz", 100);
+  AnalyticPredictor pred;
+  ParallelSimOptions o;
+  o.num_subtraces = 1000;
+  o.context_length = 8;
+  ParallelSimulator sim(pred, o);
+  const auto res = sim.run(tr);
+  EXPECT_EQ(res.boundaries.size(), 101u);
+  EXPECT_EQ(res.instructions, 100u);
+}
+
+TEST(ParallelSim, RecordedContextCountsShowBoundaryLoss) {
+  trace::EncodedTrace tr = make_trace("mcf", 4000);
+  AnalyticPredictor pred;
+  ParallelSimOptions o;
+  o.num_subtraces = 4;
+  o.context_length = 32;
+  o.record_context_counts = true;
+  ParallelSimulator sim(pred, o);
+  const auto res = sim.run(tr);
+  ASSERT_EQ(res.context_counts.size(), tr.size());
+  // First instruction of partitions 1..3 has zero context (no warmup).
+  for (std::size_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(res.context_counts[res.boundaries[p]], 0u);
+  }
+  // Mid-partition instructions do have context.
+  EXPECT_GT(res.context_counts[res.boundaries[1] / 2], 0u);
+}
+
+}  // namespace
+}  // namespace mlsim::core

@@ -1,0 +1,241 @@
+// Predictor behaviour tests: analytic model sensitivity to context, oracle
+// replay, batched prediction, and CNN predictor plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/check.h"
+#include "core/analytic_predictor.h"
+#include "core/cnn_predictor.h"
+#include "core/predictor.h"
+#include "core/simulator.h"
+#include "trace/annotation.h"
+
+namespace mlsim::core {
+namespace {
+
+trace::EncodedTrace small_trace(const std::string& abbr = "xz",
+                                std::size_t n = 2000) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+// Build a window buffer with a synthetic current instruction and optional
+// context rows.
+struct WindowBuilder {
+  std::size_t rows;
+  std::vector<std::int32_t> buf;
+
+  explicit WindowBuilder(std::size_t rows_in)
+      : rows(rows_in), buf(rows_in * trace::kNumFeatures, 0) {}
+
+  std::int32_t* row(std::size_t r) { return buf.data() + r * trace::kNumFeatures; }
+  WindowView view() const { return {buf.data(), rows}; }
+};
+
+TEST(AnalyticPredictor, LoadLatencyScalesWithHitLevel) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  auto* cur = w.row(0);
+  cur[trace::Feat::kIsLoad] = 1;
+  cur[trace::Feat::kBaseLat] = 1;
+
+  cur[trace::Feat::kDataLevel] = static_cast<std::int32_t>(trace::HitLevel::kL1);
+  const auto l1 = pred.predict(w.view(), 0);
+  cur[trace::Feat::kDataLevel] = static_cast<std::int32_t>(trace::HitLevel::kL2);
+  const auto l2 = pred.predict(w.view(), 0);
+  cur[trace::Feat::kDataLevel] = static_cast<std::int32_t>(trace::HitLevel::kMemory);
+  const auto mem = pred.predict(w.view(), 0);
+  EXPECT_LT(l1.exec, l2.exec);
+  EXPECT_LT(l2.exec, mem.exec);
+}
+
+TEST(AnalyticPredictor, StoreForwardingBeatsCacheAccess) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  auto* cur = w.row(0);
+  cur[trace::Feat::kIsLoad] = 1;
+  cur[trace::Feat::kBaseLat] = 1;
+  cur[trace::Feat::kDataLevel] = static_cast<std::int32_t>(trace::HitLevel::kMemory);
+  const auto slow = pred.predict(w.view(), 0);
+  cur[trace::Feat::kFwdDist] = 3;
+  const auto forwarded = pred.predict(w.view(), 0);
+  EXPECT_LT(forwarded.exec, slow.exec);
+}
+
+TEST(AnalyticPredictor, DependencyOnInFlightProducerAddsWait) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  auto* cur = w.row(0);
+  cur[trace::Feat::kBaseLat] = 1;
+  cur[trace::Feat::kNumSrc] = 1;
+  cur[trace::Feat::kSrc0] = 5;
+  cur[trace::Feat::kDep0] = 2;  // producer is 2 instructions back
+  const auto no_ctx = pred.predict(w.view(), 0);
+
+  auto* producer = w.row(2);
+  producer[trace::Feat::kDst0] = 5;
+  producer[kCtxLatFeature] = 40;  // still 40 cycles in flight
+  const auto waiting = pred.predict(w.view(), 0);
+  EXPECT_GT(waiting.exec, no_ctx.exec + 20);
+}
+
+TEST(AnalyticPredictor, MispredictedBranchInContextStallsFetch) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  const auto clean = pred.predict(w.view(), 0);
+
+  auto* prev = w.row(1);
+  prev[trace::Feat::kIsControl] = 1;
+  prev[trace::Feat::kMispredicted] = 1;
+  prev[kCtxLatFeature] = 10;
+  const auto redirected = pred.predict(w.view(), 0);
+  EXPECT_GT(redirected.fetch, clean.fetch + 10);
+}
+
+TEST(AnalyticPredictor, RetiredBranchDoesNotStall) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  auto* prev = w.row(1);
+  prev[trace::Feat::kIsControl] = 1;
+  prev[trace::Feat::kMispredicted] = 1;
+  prev[kCtxLatFeature] = 0;  // retired: zero latency entry
+  const auto p = pred.predict(w.view(), 0);
+  const WindowBuilder clean(9);
+  EXPECT_EQ(p.fetch, pred.predict(clean.view(), 0).fetch);
+}
+
+TEST(AnalyticPredictor, StoreGetsStoreLatency) {
+  AnalyticPredictor pred;
+  WindowBuilder w(9);
+  auto* cur = w.row(0);
+  cur[trace::Feat::kIsStore] = 1;
+  cur[trace::Feat::kDataLevel] = static_cast<std::int32_t>(trace::HitLevel::kL1);
+  EXPECT_GT(pred.predict(w.view(), 0).store, 0u);
+  cur[trace::Feat::kIsStore] = 0;
+  cur[trace::Feat::kDataLevel] = 0;
+  EXPECT_EQ(pred.predict(w.view(), 0).store, 0u);
+}
+
+TEST(AnalyticPredictor, DeterministicAndPure) {
+  AnalyticPredictor pred;
+  trace::EncodedTrace tr = small_trace();
+  WindowBuilder w(17);
+  std::copy(tr.features(5).begin(), tr.features(5).end(), w.row(0));
+  const auto a = pred.predict(w.view(), 0);
+  const auto b = pred.predict(w.view(), 0);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------------ oracle --
+
+TEST(OraclePredictor, ReplaysGroundTruth) {
+  trace::EncodedTrace tr = small_trace();
+  OraclePredictor oracle(tr);
+  for (std::size_t i : {0u, 5u, 100u}) {
+    const auto p = oracle.predict(WindowView{}, i);
+    EXPECT_EQ(p.fetch, tr.targets(i)[0]);
+    EXPECT_EQ(p.exec, tr.targets(i)[1]);
+    EXPECT_EQ(p.store, tr.targets(i)[2]);
+  }
+}
+
+TEST(OraclePredictor, RequiresLabeledTrace) {
+  trace::EncodedTrace tr("unlabeled");
+  tr.append(trace::FeatureVector{});
+  EXPECT_THROW(OraclePredictor{tr}, CheckError);
+}
+
+// ------------------------------------------------------------- batch path --
+
+TEST(PredictorBatch, DefaultBatchMatchesScalar) {
+  AnalyticPredictor pred;
+  trace::EncodedTrace tr = small_trace();
+  const std::size_t rows = 9;
+  const std::size_t batch = 4;
+  std::vector<std::int32_t> windows(batch * rows * trace::kNumFeatures, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto f = tr.features(b * 7);
+    std::copy(f.begin(), f.end(),
+              windows.begin() + static_cast<std::ptrdiff_t>(b * rows * trace::kNumFeatures));
+  }
+  std::vector<std::uint64_t> idx{0, 7, 14, 21};
+  std::vector<LatencyPrediction> out(batch);
+  pred.predict_batch(windows.data(), batch, rows, idx.data(), out.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const WindowView w{windows.data() + b * rows * trace::kNumFeatures, rows};
+    EXPECT_EQ(out[b], pred.predict(w, idx[b]));
+  }
+}
+
+// ------------------------------------------------------------- cnn plumbing --
+
+SimNetBundle tiny_bundle(std::size_t window = 9) {
+  tensor::SimNetModelConfig cfg;
+  cfg.in_features = trace::kNumFeatures;
+  cfg.window = window;
+  cfg.channels = 4;
+  cfg.hidden = 8;
+  tensor::SimNetModel model(cfg, 21);
+  std::vector<float> scales(trace::kNumFeatures, 0.05f);
+  return SimNetBundle{std::move(model), std::move(scales)};
+}
+
+TEST(CnnPredictor, OutputsNonNegativeAndDeterministic) {
+  CnnPredictor pred(tiny_bundle());
+  WindowBuilder w(9);
+  w.row(0)[trace::Feat::kBaseLat] = 3;
+  const auto a = pred.predict(w.view(), 0);
+  const auto b = pred.predict(w.view(), 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CnnPredictor, BatchMatchesScalar) {
+  CnnPredictor pred(tiny_bundle());
+  trace::EncodedTrace tr = small_trace();
+  const std::size_t rows = 9, batch = 3;
+  std::vector<std::int32_t> windows(batch * rows * trace::kNumFeatures, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto f = tr.features(b);
+    std::copy(f.begin(), f.end(),
+              windows.begin() + static_cast<std::ptrdiff_t>(b * rows * trace::kNumFeatures));
+  }
+  std::vector<LatencyPrediction> out(batch);
+  pred.predict_batch(windows.data(), batch, rows, nullptr, out.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const WindowView w{windows.data() + b * rows * trace::kNumFeatures, rows};
+    EXPECT_EQ(out[b], pred.predict(w, b));
+  }
+}
+
+TEST(CnnPredictor, DecodeRoundsLog1p) {
+  EXPECT_EQ(CnnPredictor::decode(0.0f), 0u);
+  EXPECT_EQ(CnnPredictor::decode(std::log1p(5.0f)), 5u);
+  EXPECT_EQ(CnnPredictor::decode(-3.0f), 0u);  // negative clamped
+}
+
+TEST(CnnPredictor, BundleSaveLoadRoundTrip) {
+  SimNetBundle b = tiny_bundle();
+  b.feature_scale[3] = 0.25f;
+  const auto path = std::filesystem::temp_directory_path() / "mlsim_bundle.bin";
+  b.save(path);
+  const SimNetBundle back = SimNetBundle::load(path);
+  EXPECT_EQ(back.feature_scale[3], 0.25f);
+  EXPECT_EQ(back.model.config(), b.model.config());
+  std::filesystem::remove(path);
+}
+
+TEST(CnnPredictor, FlopsPositiveAndEngineConfigurable) {
+  CnnPredictor pred(tiny_bundle(), device::Engine::kLibTorch);
+  EXPECT_GT(pred.flops_per_window(9), 0u);
+  EXPECT_EQ(pred.engine(), device::Engine::kLibTorch);
+}
+
+TEST(CnnPredictor, RejectsWrongWindowSize) {
+  CnnPredictor pred(tiny_bundle(9));
+  WindowBuilder w(5);
+  EXPECT_THROW(pred.predict(w.view(), 0), CheckError);
+}
+
+}  // namespace
+}  // namespace mlsim::core

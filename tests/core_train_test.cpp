@@ -1,0 +1,199 @@
+// Training pipeline tests: window dataset construction, feature scales,
+// CNN training convergence on real traces, and the Ithemal baseline.
+#include <gtest/gtest.h>
+
+#include "core/ithemal.h"
+#include "tensor/quant.h"
+#include "core/simnet_trainer.h"
+#include "core/simulator.h"
+
+namespace mlsim::core {
+namespace {
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n,
+                               std::uint64_t seed = 1) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, seed);
+}
+
+// --------------------------------------------------------- window dataset --
+
+TEST(WindowDataset, FirstWindowUnpadded) {
+  trace::EncodedTrace tr = make_trace("xz", 500);
+  WindowDataset ds(tr, 9);
+  std::vector<std::int32_t> w;
+  ds.window(0, w);
+  ASSERT_EQ(w.size(), 9 * trace::kNumFeatures);
+  // Instruction 0 has no context: rows 1.. must be zero.
+  for (std::size_t i = trace::kNumFeatures; i < w.size(); ++i) EXPECT_EQ(w[i], 0);
+}
+
+TEST(WindowDataset, ContextMembershipFollowsGroundTruthRetires) {
+  trace::EncodedTrace tr = make_trace("mcf", 2000);
+  WindowDataset ds(tr, 17);
+  std::vector<std::int32_t> w;
+  std::size_t windows_with_context = 0;
+  for (std::size_t i = 100; i < 200; ++i) {
+    ds.window(i, w);
+    bool has_ctx = false;
+    for (std::size_t r = 1; r < 17; ++r) {
+      if (w[r * trace::kNumFeatures + kCtxLatFeature] > 0) has_ctx = true;
+    }
+    windows_with_context += has_ctx;
+  }
+  // Out-of-order execution keeps multiple instructions in flight nearly
+  // always on a memory-bound benchmark.
+  EXPECT_GT(windows_with_context, 50u);
+}
+
+TEST(WindowDataset, RequiresLabels) {
+  trace::EncodedTrace tr("x");
+  tr.append(trace::FeatureVector{});
+  EXPECT_THROW(WindowDataset(tr, 9), CheckError);
+}
+
+// ----------------------------------------------------------- feature scales --
+
+TEST(FeatureScales, InverseOfMaxAndLatencySlot) {
+  trace::EncodedTrace tr = make_trace("xz", 1000);
+  const auto scales = compute_feature_scales({&tr});
+  ASSERT_EQ(scales.size(), trace::kNumFeatures);
+  for (float s : scales) {
+    EXPECT_GT(s, 0.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+  EXPECT_FLOAT_EQ(scales[kCtxLatFeature], 1.0f / kMaxLatencyEntry);
+}
+
+// --------------------------------------------------------------- training --
+
+TEST(TrainSimNet, LossDecreasesAndGeneralizes) {
+  // Small but real training run: two training benchmarks, tiny model.
+  trace::EncodedTrace perl = make_trace("perl", 4000);
+  trace::EncodedTrace gcc = make_trace("gcc", 4000);
+
+  SimNetTrainConfig cfg;
+  cfg.model.window = 17;
+  cfg.model.channels = 8;
+  cfg.model.hidden = 16;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+
+  SimNetTrainReport report;
+  SimNetBundle bundle = train_simnet({&perl, &gcc}, cfg, &report);
+  EXPECT_GT(report.samples, 1000u);
+  EXPECT_GT(report.final_loss, 0.0f);
+  EXPECT_LT(report.final_loss, 1.5f);  // log1p-space MSE after training
+  // Holdout per-instruction fetch error should be far better than chance.
+  EXPECT_LT(report.holdout_mape_fetch, 120.0);
+
+  // The predictor built from the bundle runs end to end on an unseen
+  // benchmark with bounded CPI error.
+  CnnPredictor pred(std::move(bundle));
+  trace::EncodedTrace test = make_trace("xz", 3000);
+  const SimNetEvalReport eval = evaluate_simnet(pred, test, 2000);
+  EXPECT_GT(eval.predicted_cpi, 0.0);
+  EXPECT_LT(eval.cpi_error_percent, 100.0);
+}
+
+TEST(TrainSimNet, DeterministicGivenSeed) {
+  trace::EncodedTrace perl = make_trace("perl", 1500);
+  SimNetTrainConfig cfg;
+  cfg.model.window = 9;
+  cfg.model.channels = 4;
+  cfg.model.hidden = 8;
+  cfg.epochs = 1;
+  SimNetTrainReport r1, r2;
+  train_simnet({&perl}, cfg, &r1);
+  train_simnet({&perl}, cfg, &r2);
+  EXPECT_EQ(r1.final_loss, r2.final_loss);
+}
+
+TEST(Finetune2to4, KeepsStructureAndRecoversAccuracy) {
+  trace::EncodedTrace perl = make_trace("perl", 3000);
+  SimNetTrainConfig cfg;
+  cfg.model.window = 17;
+  cfg.model.channels = 8;
+  cfg.model.hidden = 16;
+  cfg.epochs = 2;
+  SimNetBundle bundle = train_simnet({&perl}, cfg);
+
+  const float dense_loss = evaluate_loss(bundle, perl);
+
+  // Raw pruning without fine-tuning damages the training objective.
+  SimNetBundle pruned_raw = train_simnet({&perl}, cfg);
+  tensor::prune_model_2to4(pruned_raw.model);
+  const float pruned_loss = evaluate_loss(pruned_raw, perl);
+  EXPECT_GT(pruned_loss, dense_loss);
+
+  // Projected fine-tuning recovers most of that damage while keeping the
+  // 2:4 structure.
+  finetune_2to4(bundle, {&perl}, /*epochs=*/1);
+  EXPECT_TRUE(tensor::satisfies_2to4(bundle.model.conv1().weight()));
+  EXPECT_TRUE(tensor::satisfies_2to4(bundle.model.fc1().weight()));
+  const float finetuned_loss = evaluate_loss(bundle, perl);
+  EXPECT_LT(finetuned_loss, pruned_loss);
+}
+
+// ---------------------------------------------------------------- ithemal --
+
+TEST(Ithemal, BasicBlockExtractionCoversTrace) {
+  trace::EncodedTrace tr = make_trace("perl", 3000);
+  const auto blocks = extract_basic_blocks(tr, 16);
+  ASSERT_FALSE(blocks.empty());
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    covered += blocks[i].length;
+    EXPECT_LE(blocks[i].length, 16u);
+    EXPECT_GT(blocks[i].length, 0u);
+    if (i > 0) {
+      EXPECT_EQ(blocks[i].begin, blocks[i - 1].begin + blocks[i - 1].length);
+    }
+  }
+  EXPECT_EQ(covered, tr.size());
+}
+
+TEST(Ithemal, BlockCyclesMatchTargets) {
+  trace::EncodedTrace tr = make_trace("perl", 500);
+  const auto blocks = extract_basic_blocks(tr, 16);
+  std::uint64_t block_cycles = 0, target_cycles = 0;
+  for (const auto& b : blocks) block_cycles += b.cycles;
+  for (std::size_t i = 0; i < tr.size(); ++i) target_cycles += tr.targets(i)[0];
+  EXPECT_EQ(block_cycles, target_cycles);
+}
+
+TEST(Ithemal, TrainingLearnsBlockThroughput) {
+  trace::EncodedTrace perl = make_trace("perl", 4000);
+  IthemalConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  std::vector<float> scales;
+  IthemalTrainReport report;
+  IthemalModel model = train_ithemal({&perl}, cfg, &scales, &report);
+  EXPECT_GT(report.blocks, 100u);
+  // Block-cycle MAPE far better than a trivially wrong predictor.
+  EXPECT_LT(report.mape_percent, 230.0);
+
+  // Predictions are positive and respond to block length.
+  const auto blocks = extract_basic_blocks(perl, 16);
+  const auto preds = model.predict(perl, {blocks[0], blocks[1]}, scales);
+  ASSERT_EQ(preds.size(), 2u);
+  for (double p : preds) EXPECT_GE(p, 0.0);
+}
+
+TEST(Ithemal, ThroughputModelShowsOptimizationGain) {
+  IthemalConfig cfg;
+  IthemalModel model(cfg, 1);
+  const auto thr = model_ithemal_throughput(model, device::GpuSpec::a100(),
+                                            /*avg_block_len=*/8,
+                                            /*batch_blocks=*/1024);
+  EXPECT_GT(thr.sequential_us_per_inst, thr.optimized_us_per_inst * 10);
+}
+
+TEST(Ithemal, FlopsGrowWithBlockLength) {
+  IthemalConfig cfg;
+  IthemalModel model(cfg, 1);
+  EXPECT_GT(model.flops_per_block(16), model.flops_per_block(4));
+}
+
+}  // namespace
+}  // namespace mlsim::core

@@ -1,0 +1,57 @@
+// Golden regression pins: the whole pipeline is deterministic by design
+// (seeded RNGs, no wall-clock or address-dependent behaviour), so exact
+// outputs can be pinned. If a refactor changes any of these values it
+// changed simulation semantics, not just code shape — bump the goldens
+// consciously in the same change that explains why.
+#include <gtest/gtest.h>
+
+#include "core/analytic_predictor.h"
+#include "core/metrics.h"
+#include "core/parallel_sim.h"
+#include "core/simulator.h"
+
+namespace mlsim::core {
+namespace {
+
+struct Golden {
+  const char* abbr;
+  std::uint64_t truth_cycles;  // ground-truth fetch-cycle total
+};
+
+class GoldenCycles : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenCycles, GroundTruthPinned) {
+  const Golden g = GetParam();
+  const auto tr = labeled_trace(g.abbr, 10000, {}, 1, /*use_cache=*/false);
+  EXPECT_EQ(total_cycles_from_targets(tr), g.truth_cycles)
+      << "ground-truth timing changed for " << g.abbr
+      << " — if intentional, update the golden";
+}
+
+// Values produced by the current implementation (seed 1, 10k instructions,
+// Table II machine). Regenerate via `mlsim_cli rates <abbr> 10000`
+// (ground-truth CPI x 10000 = the cycle total pinned here).
+INSTANTIATE_TEST_SUITE_P(Pins, GoldenCycles,
+                         ::testing::Values(Golden{"xz", 47129},
+                                           Golden{"mcf", 47757},
+                                           Golden{"perl", 43179},
+                                           Golden{"lbm", 69199}));
+
+TEST(GoldenPredictions, AnalyticSimulationPinned) {
+  const auto tr = labeled_trace("xz", 10000, {}, 1, false);
+  AnalyticPredictor pred;
+  ParallelSimOptions o;
+  o.num_subtraces = 1;
+  o.context_length = 64;
+  const auto res = ParallelSimulator(pred, o).run(tr);
+  // Pinned below by the generator script; a zero pin means "fill me in".
+  const std::uint64_t kPinnedCycles = 39832;
+  if (kPinnedCycles != 0) {
+    EXPECT_EQ(res.total_cycles, kPinnedCycles);
+  } else {
+    GTEST_SKIP() << "pin not yet generated";
+  }
+}
+
+}  // namespace
+}  // namespace mlsim::core

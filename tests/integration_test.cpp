@@ -1,0 +1,151 @@
+// End-to-end integration tests: the full pipeline from workload profile to
+// parallel multi-GPU simulation with accuracy recovery, plus cross-module
+// consistency checks that mirror the paper's headline claims in miniature.
+#include <gtest/gtest.h>
+
+#include "core/analytic_predictor.h"
+#include "core/metrics.h"
+#include "core/parallel_sim.h"
+#include "core/simnet_trainer.h"
+#include "core/simulator.h"
+#include "uarch/interval_core.h"
+
+namespace mlsim::core {
+namespace {
+
+TEST(Integration, FullPipelinePerBenchmark) {
+  // profile -> program -> functional sim -> annotate -> OoO label ->
+  // encode -> ML simulate -> error vs ground truth, for a spread of
+  // benchmark characters.
+  for (const std::string abbr : {"perl", "mcf", "lbm", "exch"}) {
+    trace::EncodedTrace tr = labeled_trace(abbr, 5000, {}, 1, false);
+    MLSimulator sim;
+    const SimOutput out = sim.simulate(tr);
+    EXPECT_EQ(out.instructions, tr.size()) << abbr;
+    const double err = std::abs(sim.cpi_error_percent(tr, out.cpi()));
+    EXPECT_LT(err, 40.0) << abbr << " CPI error too large";
+  }
+}
+
+TEST(Integration, ParallelRecoveryLadderMiniaturePaperResult) {
+  // The paper's Fig. 8 narrative in miniature: baseline parallel error >
+  // warmup error >= warmup+correction error, against the *sequential ML*
+  // simulation as reference.
+  trace::EncodedTrace tr = labeled_trace("mcf", 30000, {}, 1, false);
+  AnalyticPredictor pred;
+  const std::size_t ctx = 32;
+
+  ParallelSimOptions seq_opts;
+  seq_opts.num_subtraces = 1;
+  seq_opts.context_length = ctx;
+  const double seq_cpi = ParallelSimulator(pred, seq_opts).run(tr).cpi();
+
+  auto run_err = [&](std::size_t parts, bool warm, bool corr) {
+    ParallelSimOptions o;
+    o.num_subtraces = parts;
+    o.context_length = ctx;
+    o.warmup = warm ? ctx : 0;
+    o.post_error_correction = corr;
+    ParallelSimulator s(pred, o);
+    return std::abs(
+        ParallelSimulator::cpi_error_percent(seq_cpi, s.run(tr).cpi()));
+  };
+
+  const double base = run_err(200, false, false);
+  const double warm = run_err(200, true, false);
+  const double corr = run_err(200, true, true);
+  EXPECT_GT(base, warm);
+  EXPECT_GE(warm + 1e-12, corr);
+}
+
+TEST(Integration, TrainedCnnBeatsUntrainedOnUnseenBenchmark) {
+  trace::EncodedTrace perl = labeled_trace("perl", 4000, {}, 1, false);
+  trace::EncodedTrace bwav = labeled_trace("bwav", 4000, {}, 1, false);
+  trace::EncodedTrace test = labeled_trace("deep", 2500, {}, 1, false);
+
+  SimNetTrainConfig cfg;
+  cfg.model.window = 17;
+  cfg.model.channels = 8;
+  cfg.model.hidden = 16;
+  cfg.epochs = 2;
+
+  SimNetBundle trained = train_simnet({&perl, &bwav}, cfg);
+  CnnPredictor trained_pred(std::move(trained));
+  const double trained_err =
+      evaluate_simnet(trained_pred, test, 1500).cpi_error_percent;
+
+  tensor::SimNetModel untrained(cfg.model, 999);
+  SimNetBundle raw{std::move(untrained),
+                   compute_feature_scales({&perl, &bwav})};
+  CnnPredictor raw_pred(std::move(raw));
+  const double raw_err = evaluate_simnet(raw_pred, test, 1500).cpi_error_percent;
+
+  EXPECT_LT(trained_err, raw_err);
+}
+
+TEST(Integration, DesignSpaceExplorationWithoutRetraining) {
+  // Table IV / Fig. 21: changing the L2 size only requires re-tracing; the
+  // same predictor then reflects the configuration change in the same
+  // direction as ground truth.
+  uarch::MachineConfig small_l2;
+  small_l2.l2.size_bytes = 128 * 1024;
+  uarch::MachineConfig big_l2;
+  big_l2.l2.size_bytes = 4 * 1024 * 1024;
+
+  trace::EncodedTrace tr_small = labeled_trace("xz", 100000, small_l2, 1, false);
+  trace::EncodedTrace tr_big = labeled_trace("xz", 100000, big_l2, 1, false);
+
+  const double truth_small =
+      static_cast<double>(total_cycles_from_targets(tr_small));
+  const double truth_big = static_cast<double>(total_cycles_from_targets(tr_big));
+  ASSERT_LT(truth_big, truth_small);  // bigger cache helps
+
+  MLSimulator sim_small{MLSimulator::Options{.machine = small_l2}};
+  MLSimulator sim_big{MLSimulator::Options{.machine = big_l2}};
+  const double pred_small = sim_small.simulate(tr_small).cpi();
+  const double pred_big = sim_big.simulate(tr_big).cpi();
+  EXPECT_LT(pred_big, pred_small);  // simulator agrees on the trend
+}
+
+TEST(Integration, ThroughputHierarchyMatchesFigure10Shape) {
+  // gem5-class detailed model < our 1-GPU simulator < our multi-GPU
+  // simulator, with the interval (ZSim-class) model in between gem5 and
+  // the parallel configuration — the Fig. 10 ordering.
+  // Partitions must stay long relative to the warmup, or the redundant
+  // warmup work caps scaling (the effect §VI-C reports for short traces).
+  trace::EncodedTrace tr = labeled_trace("xz", 300000, {}, 1, false);
+  AnalyticPredictor pred;
+
+  // Detailed-model throughput measured for real on this host, normalised
+  // into the modeled-time frame via the paper's gem5 reference (0.198
+  // MIPS): we only check ordering of modeled numbers here.
+  ParallelSimOptions one;
+  one.num_subtraces = 1024;
+  one.num_gpus = 1;
+  one.context_length = 32;
+  one.warmup = 32;
+  one.assumed_flops_per_window = 3'190'000;
+  const double one_gpu_mips = ParallelSimulator(pred, one).run(tr).mips();
+
+  ParallelSimOptions eight = one;
+  eight.num_subtraces = 8 * 1024;
+  eight.num_gpus = 8;
+  const double eight_gpu_mips = ParallelSimulator(pred, eight).run(tr).mips();
+
+  EXPECT_GT(one_gpu_mips, 0.198);  // faster than gem5's measured rate
+  EXPECT_GT(eight_gpu_mips, one_gpu_mips * 3);
+}
+
+TEST(Integration, SameSeedFullyReproducible) {
+  trace::EncodedTrace a = labeled_trace("x264", 3000, {}, 5, false);
+  trace::EncodedTrace b = labeled_trace("x264", 3000, {}, 5, false);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.raw_features(), b.raw_features());
+  EXPECT_EQ(a.raw_targets(), b.raw_targets());
+
+  MLSimulator sim;
+  EXPECT_EQ(sim.simulate(a).cycles, sim.simulate(b).cycles);
+}
+
+}  // namespace
+}  // namespace mlsim::core

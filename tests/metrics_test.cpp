@@ -1,0 +1,115 @@
+// Metric derivation tests (§VI-D/E): interval CPI, memory bandwidth,
+// per-optype error.
+#include <gtest/gtest.h>
+
+#include "core/analytic_predictor.h"
+#include "core/metrics.h"
+#include "core/sequential_sim.h"
+#include "core/simulator.h"
+
+namespace mlsim::core {
+namespace {
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+TEST(Metrics, CpiSeriesShapeAndMean) {
+  std::vector<LatencyPrediction> preds(1000, LatencyPrediction{1, 2, 0});
+  const auto series = cpi_series_from_predictions(preds, 100);
+  ASSERT_EQ(series.size(), 10u);
+  for (double c : series) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Metrics, CpiSeriesHandlesTail) {
+  std::vector<LatencyPrediction> preds(250, LatencyPrediction{2, 0, 0});
+  const auto series = cpi_series_from_predictions(preds, 100);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[2], 2.0);  // 50-instruction tail
+  EXPECT_THROW(cpi_series_from_predictions(preds, 0), CheckError);
+}
+
+TEST(Metrics, TargetSeriesMatchesTraceCycles) {
+  trace::EncodedTrace tr = make_trace("xz", 1000);
+  const auto series = cpi_series_from_targets(tr, 100);
+  ASSERT_EQ(series.size(), 10u);
+  double sum = 0;
+  for (double c : series) sum += c * 100;
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(total_cycles_from_targets(tr)));
+}
+
+TEST(Metrics, GroundTruthCpiSeriesShowsPhases) {
+  // Real traces have CPI variation across intervals.
+  trace::EncodedTrace tr = make_trace("mcf", 20000);
+  const auto series = cpi_series_from_targets(tr, 1000);
+  double lo = 1e9, hi = 0;
+  for (double c : series) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(Metrics, MemoryBandwidthTracksWorkingSet) {
+  // lbm (streaming, 64MB) touches memory far more than spei (64KB).
+  trace::EncodedTrace lbm = make_trace("lbm", 20000);
+  trace::EncodedTrace spei = make_trace("spei", 500000);
+  EXPECT_GT(memory_bandwidth_from_targets(lbm),
+            memory_bandwidth_from_targets(spei) * 2);
+}
+
+TEST(Metrics, PredictionBandwidthNearTruthForGoodPredictor) {
+  trace::EncodedTrace tr = make_trace("mcf", 10000);
+  AnalyticPredictor pred;
+  SequentialSimOptions opts;
+  opts.context_length = 32;
+  opts.record_predictions = true;
+  SequentialSimulator sim(pred, opts);
+  const SimOutput out = sim.run(tr);
+  const double predicted = memory_bandwidth_from_predictions(tr, out.predictions);
+  const double truth = memory_bandwidth_from_targets(tr);
+  ASSERT_GT(truth, 0.0);
+  EXPECT_LT(std::abs(predicted - truth) / truth, 0.5);
+}
+
+TEST(Metrics, OptypeErrorSplitsClasses) {
+  trace::EncodedTrace tr = make_trace("xz", 5000);
+  // Perfect predictions -> zero error everywhere.
+  std::vector<LatencyPrediction> perfect;
+  perfect.reserve(tr.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto t = tr.targets(i);
+    perfect.push_back({t[0], t[1], t[2]});
+  }
+  const OpTypeError zero = optype_error(tr, perfect);
+  EXPECT_DOUBLE_EQ(zero.alu_percent, 0.0);
+  EXPECT_DOUBLE_EQ(zero.memory_percent, 0.0);
+  EXPECT_GT(zero.alu_count, 0u);
+  EXPECT_GT(zero.memory_count, 0u);
+
+  // Systematically biased memory predictions show up only in memory error.
+  auto biased = perfect;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const auto f = tr.features(i);
+    if (f[trace::Feat::kIsLoad] != 0 || f[trace::Feat::kIsStore] != 0) {
+      biased[i].exec += 10;
+    }
+  }
+  const OpTypeError b = optype_error(tr, biased);
+  EXPECT_DOUBLE_EQ(b.alu_percent, 0.0);
+  EXPECT_GT(b.memory_percent, 1.0);
+}
+
+TEST(Metrics, OptypeErrorValidatesInput) {
+  trace::EncodedTrace tr = make_trace("xz", 100);
+  std::vector<LatencyPrediction> wrong_size(50);
+  EXPECT_THROW(optype_error(tr, wrong_size), CheckError);
+}
+
+TEST(Metrics, TotalCyclesConsistency) {
+  std::vector<LatencyPrediction> preds{{1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  EXPECT_EQ(total_cycles(preds), 6u);
+}
+
+}  // namespace
+}  // namespace mlsim::core

@@ -1,0 +1,368 @@
+// Tests for the trace substrate: workload suite, program synthesis,
+// functional simulation, feature encoding and trace serialization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/check.h"
+#include "trace/encoder.h"
+#include "trace/functional_sim.h"
+#include "trace/program.h"
+#include "trace/trace.h"
+#include "trace/workload.h"
+
+namespace mlsim::trace {
+namespace {
+
+// --------------------------------------------------------------- workload --
+
+TEST(Workload, SuiteHas21BenchmarksWithPaperSplit) {
+  const auto& suite = spec2017_suite();
+  EXPECT_EQ(suite.size(), 21u);
+  EXPECT_EQ(train_benchmarks(), (std::vector<std::string>{"perl", "gcc", "bwav", "namd"}));
+  EXPECT_EQ(test_benchmarks().size(), 17u);
+}
+
+TEST(Workload, AbbreviationsUnique) {
+  std::set<std::string> abbrs;
+  for (const auto& b : spec2017_suite()) abbrs.insert(b.profile.abbr);
+  EXPECT_EQ(abbrs.size(), 21u);
+}
+
+TEST(Workload, LookupByAbbrAndUnknownThrows) {
+  EXPECT_EQ(find_workload("mcf").name, "505.mcf");
+  EXPECT_THROW(find_workload("nope"), CheckError);
+}
+
+TEST(Workload, MixWeightsNormalizable) {
+  for (const auto& b : spec2017_suite()) {
+    double total = 0;
+    for (double w : b.profile.mix) {
+      EXPECT_GE(w, 0.0) << b.profile.abbr;
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 0.05) << b.profile.abbr;
+  }
+}
+
+TEST(Workload, MemoryPatternFractionsSane) {
+  for (const auto& b : spec2017_suite()) {
+    const auto& p = b.profile;
+    const double sum = p.frac_stream + p.frac_strided + p.frac_random +
+                       p.frac_chase + p.frac_stack;
+    EXPECT_NEAR(sum, 1.0, 0.01) << p.abbr;
+  }
+}
+
+// ---------------------------------------------------------------- program --
+
+class ProgramPerBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgramPerBenchmark, GeneratesValidCfg) {
+  const auto& profile = find_workload(GetParam());
+  const Program prog = Program::generate(profile, 1);
+  ASSERT_GE(prog.blocks().size(), 8u);
+  EXPECT_GT(prog.num_static_insts(), 0u);
+
+  for (const auto& blk : prog.blocks()) {
+    ASSERT_FALSE(blk.insts.empty());
+    const auto& term = blk.insts.back();
+    if (is_control(term.op)) {
+      EXPECT_LT(term.branch.taken_target, prog.blocks().size());
+      EXPECT_LT(term.branch.fall_target, prog.blocks().size());
+    }
+    for (const auto& si : blk.insts) {
+      EXPECT_LE(si.n_src, kMaxSrcRegs);
+      EXPECT_LE(si.n_dst, kMaxDstRegs);
+      if (is_memory(si.op)) {
+        EXPECT_NE(si.mem.pattern, AccessPattern::kNone);
+        EXPECT_GT(si.mem.region_bytes, 0u);
+        // Power-of-two regions keep address generation branch-free.
+        EXPECT_EQ(si.mem.region_bytes & (si.mem.region_bytes - 1), 0u);
+      }
+    }
+  }
+}
+
+TEST_P(ProgramPerBenchmark, DeterministicForSameSeed) {
+  const auto& profile = find_workload(GetParam());
+  const Program a = Program::generate(profile, 3);
+  const Program b = Program::generate(profile, 3);
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  EXPECT_EQ(a.num_static_insts(), b.num_static_insts());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].start_pc, b.blocks()[i].start_pc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ProgramPerBenchmark,
+                         ::testing::Values("perl", "gcc", "bwav", "namd", "mcf",
+                                           "xz", "exch", "lbm", "x264", "spei"));
+
+// --------------------------------------------------------- functional sim --
+
+TEST(FunctionalSim, EmitsRequestedCount) {
+  const Program prog = Program::generate(find_workload("xz"), 1);
+  FunctionalSim sim(prog, 1);
+  const auto insts = sim.run(5000);
+  EXPECT_EQ(insts.size(), 5000u);
+  EXPECT_EQ(sim.instructions_retired(), 5000u);
+}
+
+TEST(FunctionalSim, DeterministicStream) {
+  const Program prog = Program::generate(find_workload("xz"), 1);
+  FunctionalSim a(prog, 9), b(prog, 9);
+  for (int i = 0; i < 2000; ++i) {
+    const DynInst x = a.next(), y = b.next();
+    ASSERT_EQ(x.pc, y.pc);
+    ASSERT_EQ(x.mem_addr, y.mem_addr);
+    ASSERT_EQ(x.is_taken, y.is_taken);
+  }
+}
+
+TEST(FunctionalSim, DifferentSeedsDiverge) {
+  const Program prog = Program::generate(find_workload("xz"), 1);
+  FunctionalSim a(prog, 1), b(prog, 2);
+  const auto xa = a.run(3000), xb = b.run(3000);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < xa.size(); ++i) diff += xa[i].pc != xb[i].pc;
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(FunctionalSim, MemoryInstructionsCarryAddresses) {
+  const Program prog = Program::generate(find_workload("mcf"), 1);
+  FunctionalSim sim(prog, 1);
+  std::size_t mem_count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const DynInst d = sim.next();
+    if (is_memory(d.op)) {
+      ++mem_count;
+      EXPECT_NE(d.mem_addr, 0u);
+      EXPECT_GT(d.mem_size_log2, 0u);
+    }
+  }
+  // mcf is memory heavy: ~40% loads+stores.
+  EXPECT_GT(mem_count, 2500u);
+}
+
+TEST(FunctionalSim, LoopBranchesMostlyTaken) {
+  const Program prog = Program::generate(find_workload("lbm"), 1);
+  FunctionalSim sim(prog, 1);
+  std::size_t branches = 0, taken = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const DynInst d = sim.next();
+    if (d.op == OpClass::kBranch) {
+      ++branches;
+      taken += d.is_taken;
+    }
+  }
+  ASSERT_GT(branches, 0u);
+  // lbm is loop-dominated with long trip counts: back edges mostly taken.
+  EXPECT_GT(static_cast<double>(taken) / static_cast<double>(branches), 0.7);
+}
+
+TEST(FunctionalSim, BlockEntryFlagsPresent) {
+  const Program prog = Program::generate(find_workload("perl"), 1);
+  FunctionalSim sim(prog, 1);
+  std::size_t entries = 0;
+  for (int i = 0; i < 5000; ++i) entries += sim.next().block_entry;
+  EXPECT_GT(entries, 100u);  // perl has short blocks
+}
+
+TEST(FunctionalSim, WorkingSetBounded) {
+  const auto& profile = find_workload("exch");  // 512 KB working set
+  const Program prog = Program::generate(profile, 1);
+  FunctionalSim sim(prog, 1);
+  for (int i = 0; i < 20000; ++i) {
+    const DynInst d = sim.next();
+    if (is_memory(d.op) && d.mem_addr < 0x7fff0000ull) {  // ignore stack
+      EXPECT_LT(d.mem_addr, 0x10000000ull + profile.working_set_bytes * 2);
+      EXPECT_GE(d.mem_addr, 0x10000000ull);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- encoder --
+
+TEST(Encoder, FeatureLayoutBasics) {
+  FeatureEncoder enc;
+  DynInst d;
+  d.op = OpClass::kLoad;
+  d.n_src = 1;
+  d.n_dst = 1;
+  d.src[0] = 5;
+  d.dst[0] = 7;
+  d.mem_addr = 0x1000 + 24;
+  d.mem_size_log2 = 3;
+  d.pc = 0x400000;
+  Annotation ann;
+  ann.data_level = HitLevel::kL2;
+  ann.dtlb_level = TlbLevel::kL2Tlb;
+
+  const FeatureVector f = enc.encode(d, ann);
+  EXPECT_EQ(f[Feat::kOpClass], static_cast<std::int32_t>(OpClass::kLoad));
+  EXPECT_EQ(f[Feat::kIsLoad], 1);
+  EXPECT_EQ(f[Feat::kIsStore], 0);
+  EXPECT_EQ(f[Feat::kSrc0], 5);
+  EXPECT_EQ(f[Feat::kDst0], 7);
+  EXPECT_EQ(f[Feat::kDataLevel], static_cast<std::int32_t>(HitLevel::kL2));
+  EXPECT_EQ(f[Feat::kDtlb], static_cast<std::int32_t>(TlbLevel::kL2Tlb));
+  EXPECT_EQ(f[Feat::kLineOffset], 3);  // byte 24 -> word 3
+  EXPECT_EQ(f[kNumFeatures - 1], 0);   // latency-entry slot reserved
+}
+
+TEST(Encoder, DependencyDistanceTracksLastWriter) {
+  FeatureEncoder enc;
+  Annotation ann;
+  DynInst producer;
+  producer.op = OpClass::kIntAlu;
+  producer.n_dst = 1;
+  producer.dst[0] = 9;
+  enc.encode(producer, ann);
+
+  DynInst filler;
+  filler.op = OpClass::kNop;
+  enc.encode(filler, ann);
+
+  DynInst consumer;
+  consumer.op = OpClass::kIntAlu;
+  consumer.n_src = 1;
+  consumer.src[0] = 9;
+  const FeatureVector f = enc.encode(consumer, ann);
+  EXPECT_EQ(f[Feat::kDep0], 2);  // producer was 2 instructions ago
+}
+
+TEST(Encoder, DependencyDistanceCapped) {
+  FeatureEncoder enc;
+  Annotation ann;
+  DynInst producer;
+  producer.op = OpClass::kIntAlu;
+  producer.n_dst = 1;
+  producer.dst[0] = 3;
+  enc.encode(producer, ann);
+  DynInst filler;
+  filler.op = OpClass::kNop;
+  for (int i = 0; i < 100; ++i) enc.encode(filler, ann);
+  DynInst consumer;
+  consumer.op = OpClass::kIntAlu;
+  consumer.n_src = 1;
+  consumer.src[0] = 3;
+  EXPECT_EQ(enc.encode(consumer, ann)[Feat::kDep0], 63);
+}
+
+TEST(Encoder, RegisterZeroNeverDepends) {
+  FeatureEncoder enc;
+  Annotation ann;
+  DynInst d;
+  d.op = OpClass::kIntAlu;
+  d.n_src = 1;
+  d.src[0] = 0;
+  EXPECT_EQ(enc.encode(d, ann)[Feat::kDep0], 0);
+}
+
+TEST(Encoder, SpatialLocalityFeatures) {
+  FeatureEncoder enc;
+  Annotation ann;
+  ann.data_level = HitLevel::kL1;
+  DynInst a;
+  a.op = OpClass::kLoad;
+  a.mem_addr = 0x1000;
+  a.mem_size_log2 = 3;
+  enc.encode(a, ann);
+  DynInst b = a;
+  b.mem_addr = 0x1008;  // same line
+  const auto f1 = enc.encode(b, ann);
+  EXPECT_EQ(f1[Feat::kSameLine], 1);
+  EXPECT_EQ(f1[Feat::kPageCross], 0);
+  DynInst c = a;
+  c.mem_addr = 0x5000;  // different page
+  const auto f2 = enc.encode(c, ann);
+  EXPECT_EQ(f2[Feat::kSameLine], 0);
+  EXPECT_EQ(f2[Feat::kPageCross], 1);
+}
+
+TEST(Encoder, ResetClearsState) {
+  FeatureEncoder enc;
+  Annotation ann;
+  DynInst producer;
+  producer.op = OpClass::kIntAlu;
+  producer.n_dst = 1;
+  producer.dst[0] = 4;
+  enc.encode(producer, ann);
+  enc.reset();
+  DynInst consumer;
+  consumer.op = OpClass::kIntAlu;
+  consumer.n_src = 1;
+  consumer.src[0] = 4;
+  EXPECT_EQ(enc.encode(consumer, ann)[Feat::kDep0], 0);
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(EncodedTrace, AppendAndAccess) {
+  EncodedTrace tr("test");
+  FeatureVector f{};
+  f[0] = 42;
+  tr.append(f, 1, 2, 3);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_TRUE(tr.labeled());
+  EXPECT_EQ(tr.features(0)[0], 42);
+  EXPECT_EQ(tr.targets(0)[0], 1u);
+  EXPECT_EQ(tr.targets(0)[2], 3u);
+  EXPECT_THROW(tr.features(1), CheckError);
+}
+
+TEST(EncodedTrace, UnlabeledWhenTargetsZero) {
+  EncodedTrace tr("t");
+  tr.append(FeatureVector{});
+  EXPECT_FALSE(tr.labeled());
+}
+
+TEST(EncodedTrace, SliceCopiesRows) {
+  EncodedTrace tr("t");
+  for (int i = 0; i < 10; ++i) {
+    FeatureVector f{};
+    f[0] = i;
+    tr.append(f, static_cast<std::uint32_t>(i), 0, 0);
+  }
+  const EncodedTrace s = tr.slice(3, 7);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.features(0)[0], 3);
+  EXPECT_EQ(s.targets(3)[0], 6u);
+  EXPECT_THROW(tr.slice(7, 3), CheckError);
+}
+
+TEST(EncodedTrace, SaveLoadRoundTrip) {
+  EncodedTrace tr("roundtrip");
+  for (int i = 0; i < 100; ++i) {
+    FeatureVector f{};
+    f[5] = i * 3;
+    tr.append(f, static_cast<std::uint32_t>(i), i + 1, 0);
+  }
+  const auto path = std::filesystem::temp_directory_path() / "mlsim_trace_test.bin";
+  tr.save(path);
+  const EncodedTrace back = EncodedTrace::load(path);
+  ASSERT_EQ(back.size(), tr.size());
+  EXPECT_EQ(back.benchmark(), "roundtrip");
+  EXPECT_TRUE(back.labeled());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(back.features(i)[5], tr.features(i)[5]);
+    EXPECT_EQ(back.targets(i)[1], tr.targets(i)[1]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EncodedTrace, LoadRejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "mlsim_garbage.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a trace";
+  }
+  EXPECT_THROW(EncodedTrace::load(path), CheckError);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace mlsim::trace
