@@ -6,8 +6,65 @@
 #include <sstream>
 
 #include "core/parallel_sim.h"
+#include "obs/obs.h"
 
 namespace mlsim::bench {
+
+namespace {
+
+// atexit handlers take no arguments, so the dump configuration is stashed in
+// file-level state set once by enable_metrics_dump_at_exit.
+bool g_dump_metrics = false;
+std::string g_metrics_path;
+std::string g_trace_out;
+
+void dump_obs_at_exit() {
+  if (g_dump_metrics) {
+    if (g_metrics_path.empty()) {
+      std::cout << "-- metrics --\n";
+      obs::default_registry().write_text(std::cout);
+    } else {
+      std::ofstream os(g_metrics_path);
+      if (os.is_open()) {
+        const bool json =
+            g_metrics_path.size() >= 5 &&
+            g_metrics_path.rfind(".json") == g_metrics_path.size() - 5;
+        if (json) {
+          obs::default_registry().write_json(os);
+        } else {
+          obs::default_registry().write_text(os);
+        }
+        std::cout << "[metrics written to " << g_metrics_path << "]\n";
+      } else {
+        std::cerr << "cannot write metrics to " << g_metrics_path << "\n";
+      }
+    }
+  }
+  if (!g_trace_out.empty()) {
+    if (obs::write_chrome_trace_file(g_trace_out)) {
+      std::cout << "[trace written to " << g_trace_out << "]\n";
+    } else {
+      std::cerr << "cannot write trace to " << g_trace_out << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+void enable_metrics_dump_at_exit(bool metrics, const std::string& metrics_path,
+                                 const std::string& trace_out) {
+  if (!obs::kCompiledIn) {
+    std::cerr << "note: built with MLSIM_OBS_DISABLE=ON; --metrics and "
+                 "--trace-out will produce empty output\n";
+  }
+  const bool first = !g_dump_metrics && g_trace_out.empty();
+  g_dump_metrics = g_dump_metrics || metrics;
+  if (!metrics_path.empty()) g_metrics_path = metrics_path;
+  if (!trace_out.empty()) g_trace_out = trace_out;
+  obs::set_enabled(true);
+  obs::reset_trace();
+  if (first) std::atexit(dump_obs_at_exit);
+}
 
 void emit(const Table& table, const std::string& name) {
   table.print(std::cout);

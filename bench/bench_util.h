@@ -8,6 +8,11 @@
 //   --benchmark=abbr   restrict to one Table I benchmark
 //   --cnn              use the trained CNN predictor where supported
 //                      (trains & caches a bundle on first use)
+//   --metrics[=path]   enable the observability layer and dump the metrics
+//                      registry at exit (text to stdout, or to `path` — JSON
+//                      when it ends in .json): the machine-readable phase
+//                      breakdown behind the figure being reproduced
+//   --trace-out=file   record scoped spans; write Chrome trace JSON at exit
 #pragma once
 
 #include <cstdio>
@@ -25,10 +30,19 @@
 
 namespace mlsim::bench {
 
+/// Turn observability on and register an atexit hook dumping the metrics
+/// registry (and, when requested, the Chrome trace) after the bench's own
+/// output. Called by Args::parse for --metrics / --trace-out.
+void enable_metrics_dump_at_exit(bool metrics, const std::string& metrics_path,
+                                 const std::string& trace_out);
+
 struct Args {
   std::size_t instructions = 0;  // 0 = bench default
   std::string benchmark;         // empty = bench default set
   bool use_cnn = false;
+  bool metrics = false;
+  std::string metrics_path;  // empty = stdout
+  std::string trace_out;
 
   static Args parse(int argc, char** argv, std::size_t default_instructions) {
     Args a;
@@ -41,13 +55,24 @@ struct Args {
         a.benchmark = s.substr(12);
       } else if (s == "--cnn") {
         a.use_cnn = true;
+      } else if (s == "--metrics") {
+        a.metrics = true;
+      } else if (s.rfind("--metrics=", 0) == 0) {
+        a.metrics = true;
+        a.metrics_path = s.substr(10);
+      } else if (s.rfind("--trace-out=", 0) == 0) {
+        a.trace_out = s.substr(12);
       } else if (s == "--help" || s == "-h") {
-        std::cout << "flags: --instructions=N --benchmark=abbr --cnn\n";
+        std::cout << "flags: --instructions=N --benchmark=abbr --cnn "
+                     "--metrics[=path] --trace-out=file.json\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << s << "\n";
         std::exit(2);
       }
+    }
+    if (a.metrics || !a.trace_out.empty()) {
+      enable_metrics_dump_at_exit(a.metrics, a.metrics_path, a.trace_out);
     }
     return a;
   }

@@ -21,9 +21,17 @@
 //       Streaming simulation with bounded memory (generation and ML
 //       simulation pipelined chunk by chunk) — the mode for very long
 //       programs that cannot be materialised.
+//
+// Observability (simulate/suite/stream; see docs/OBSERVABILITY.md):
+//   --metrics[=path]     enable the metrics registry; print a per-phase
+//                        breakdown and the registry dump (text to stdout, or
+//                        to `path` — JSON when it ends in .json).
+//   --trace-out=<file>   record scoped spans and write Chrome trace-event
+//                        JSON loadable in chrome://tracing / Perfetto.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -34,11 +42,102 @@
 #include "core/simulator.h"
 #include "core/streaming.h"
 #include "core/suite.h"
+#include "obs/obs.h"
 #include "trace/stream.h"
 
 using namespace mlsim;
 
 namespace {
+
+struct ObsFlags {
+  bool metrics = false;
+  std::string metrics_path;  // empty = stdout
+  std::string trace_out;
+
+  bool active() const { return metrics || !trace_out.empty(); }
+};
+
+bool parse_obs_flag(const std::string& s, ObsFlags& f) {
+  if (s == "--metrics") {
+    f.metrics = true;
+    return true;
+  }
+  if (s.rfind("--metrics=", 0) == 0) {
+    f.metrics = true;
+    f.metrics_path = s.substr(10);
+    return true;
+  }
+  if (s.rfind("--trace-out=", 0) == 0) {
+    f.trace_out = s.substr(12);
+    return true;
+  }
+  return false;
+}
+
+void enable_obs(const ObsFlags& f) {
+  if (!f.active()) return;
+  if (!obs::kCompiledIn) {
+    std::fprintf(stderr, "note: built with MLSIM_OBS_DISABLE=ON; --metrics and "
+                         "--trace-out will produce empty output\n");
+  }
+  obs::set_enabled(true);
+  obs::reset_trace();
+}
+
+void finish_obs(const ObsFlags& f) {
+  if (!f.active()) return;
+  if (f.metrics) {
+    if (f.metrics_path.empty()) {
+      std::printf("-- metrics --\n");
+      obs::default_registry().write_text(std::cout);
+    } else {
+      std::ofstream os(f.metrics_path);
+      if (!os.is_open()) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     f.metrics_path.c_str());
+      } else {
+        const bool json = f.metrics_path.size() >= 5 &&
+                          f.metrics_path.rfind(".json") ==
+                              f.metrics_path.size() - 5;
+        if (json) {
+          obs::default_registry().write_json(os);
+        } else {
+          obs::default_registry().write_text(os);
+        }
+        std::printf("[metrics written to %s]\n", f.metrics_path.c_str());
+      }
+    }
+  }
+  if (!f.trace_out.empty()) {
+    if (obs::write_chrome_trace_file(f.trace_out)) {
+      std::printf("[trace with %llu spans written to %s — load in "
+                  "chrome://tracing or ui.perfetto.dev]\n",
+                  static_cast<unsigned long long>(obs::recorded_events()),
+                  f.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", f.trace_out.c_str());
+    }
+  }
+}
+
+/// §IV per-phase simulated-time breakdown of a single-device run.
+void print_phase_table(const core::SimOutput& out) {
+  const core::StepProfile& pr = out.profile;
+  const double total = pr.total();
+  Table t({"phase", "us/instr", "share %"});
+  const auto row = [&](const std::string& name, double v) {
+    t.add_row({name, v, total > 0.0 ? v / total * 100.0 : 0.0});
+  };
+  row("queue push", pr.queue_push);
+  row("input construction", pr.input_construct);
+  row("H2D copy", pr.h2d);
+  row("transpose", pr.transpose);
+  row("inference", pr.inference);
+  row("update/retire", pr.update_retire);
+  t.add_row({std::string("total"), total, 100.0});
+  t.set_precision(4);
+  t.print(std::cout);
+}
 
 trace::EncodedTrace acquire(const std::string& what, std::size_t n) {
   if (std::filesystem::exists(what)) return trace::EncodedTrace::load(what);
@@ -68,23 +167,27 @@ int cmd_simulate(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: mlsim_cli simulate <benchmark|trace.bin> "
                          "[instructions] [--parallel=P] [--gpus=G] "
-                         "[--context=C] [--no-recovery]\n");
+                         "[--context=C] [--no-recovery] [--metrics[=path]] "
+                         "[--trace-out=file.json]\n");
     return 2;
   }
   std::size_t n = 0, parallel = 0, gpus = 1, context = 64;
   bool recovery = true;
+  ObsFlags obs_flags;
   for (int i = 3; i < argc; ++i) {
     const std::string s = argv[i];
     if (s.rfind("--parallel=", 0) == 0) parallel = std::stoull(s.substr(11));
     else if (s.rfind("--gpus=", 0) == 0) gpus = std::stoull(s.substr(7));
     else if (s.rfind("--context=", 0) == 0) context = std::stoull(s.substr(10));
     else if (s == "--no-recovery") recovery = false;
+    else if (parse_obs_flag(s, obs_flags)) continue;
     else if (s[0] != '-') n = std::stoull(s);
     else {
       std::fprintf(stderr, "unknown flag %s\n", s.c_str());
       return 2;
     }
   }
+  enable_obs(obs_flags);
   const auto tr = acquire(argv[2], n);
   core::MLSimulator::Options opts;
   opts.context_length = context;
@@ -92,6 +195,9 @@ int cmd_simulate(int argc, char** argv) {
 
   if (parallel == 0) {
     const auto out = sim.simulate(tr);
+    // With --metrics the aggregate one-liner grows into the full §IV
+    // per-phase breakdown the paper's Fig. 2/11-16 reason about.
+    if (obs_flags.metrics) print_phase_table(out);
     std::printf("single device: CPI %.4f | err vs truth %+.2f%% | %.3f MIPS "
                 "(modeled) | ctx occupancy %.2f\n",
                 out.cpi(),
@@ -105,12 +211,25 @@ int cmd_simulate(int argc, char** argv) {
                 tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
                 out.mips(), out.corrected_instructions);
   }
+  finish_obs(obs_flags);
   return 0;
 }
 
 int cmd_suite(int argc, char** argv) {
-  const std::size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
-  const std::size_t gpus = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+  ObsFlags obs_flags;
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (parse_obs_flag(s, obs_flags)) continue;
+    if (!s.empty() && s[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+    pos.push_back(s);
+  }
+  const std::size_t n = pos.size() > 0 ? std::stoull(pos[0]) : 50000;
+  const std::size_t gpus = pos.size() > 1 ? std::stoull(pos[1]) : 4;
+  enable_obs(obs_flags);
   std::printf("simulating all 21 benchmarks, %zu instructions each, across "
               "%zu modeled GPUs (LPT schedule)\n", n, gpus);
 
@@ -139,6 +258,7 @@ int cmd_suite(int argc, char** argv) {
   std::printf("makespan %.1f ms | suite throughput %.2f MIPS | device "
               "utilization %.1f%%\n", report.makespan_us / 1000.0, report.mips(),
               report.utilization() * 100.0);
+  finish_obs(obs_flags);
   return 0;
 }
 
@@ -167,13 +287,26 @@ int cmd_rates(int argc, char** argv) {
 }
 
 int cmd_stream(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: mlsim_cli stream <benchmark> <instructions> [context]\n");
+  ObsFlags obs_flags;
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (parse_obs_flag(s, obs_flags)) continue;
+    if (!s.empty() && s[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+    pos.push_back(s);
+  }
+  if (pos.size() < 2) {
+    std::fprintf(stderr, "usage: mlsim_cli stream <benchmark> <instructions> "
+                         "[context] [--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
   }
-  const std::string abbr = argv[2];
-  const std::uint64_t n = std::strtoull(argv[3], nullptr, 10);
-  const std::size_t ctx = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64;
+  const std::string abbr = pos[0];
+  const std::uint64_t n = std::stoull(pos[1]);
+  const std::size_t ctx = pos.size() > 2 ? std::stoull(pos[2]) : 64;
+  enable_obs(obs_flags);
   trace::LabeledTraceStream stream(trace::find_workload(abbr));
   core::AnalyticPredictor pred;
   const auto res = core::simulate_stream(pred, stream, n, ctx);
@@ -182,6 +315,7 @@ int cmd_stream(int argc, char** argv) {
   std::printf("predicted CPI %.4f | ground-truth CPI %.4f | error %+.2f%%\n",
               res.cpi(), res.truth_cpi(),
               (res.truth_cpi() - res.cpi()) / res.truth_cpi() * 100.0);
+  finish_obs(obs_flags);
   return 0;
 }
 

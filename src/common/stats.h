@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -42,6 +43,17 @@ double mean_absolute_percent_error(const std::vector<double>& reference,
                                    const std::vector<double>& value);
 
 /// Percentile of a copy of the data (p in [0, 100], linear interpolation).
+/// Throws CheckError for empty data or p outside [0, 100]; p = 100 returns
+/// the maximum exactly (no out-of-range interpolation index).
 double percentile(std::vector<double> data, double p);
+
+/// Quantile of a fixed-bucket histogram: `upper_edges` are ascending bucket
+/// upper bounds (the last bucket also absorbs overflow), `counts[i]` is the
+/// number of samples in bucket i. Linearly interpolates within the target
+/// bucket, mirroring `percentile`'s convention. Returns NaN when the
+/// histogram is empty; p is clamped to [0, 100]. Sizes must match.
+double quantile_from_buckets(const std::vector<double>& upper_edges,
+                             const std::vector<std::uint64_t>& counts,
+                             double p);
 
 }  // namespace mlsim

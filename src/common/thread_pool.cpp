@@ -1,11 +1,31 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 
 #include "common/check.h"
+#include "obs/obs.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
 
 namespace mlsim {
+
+namespace {
+
+void set_current_thread_name(std::size_t index) {
+#ifdef __linux__
+  char name[16];  // pthread limit: 15 chars + NUL
+  std::snprintf(name, sizeof(name), "mlsim-worker-%zu", index);
+  pthread_setname_np(pthread_self(), name);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -14,7 +34,10 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
   // The calling thread participates in parallel_for, so spawn n-1 workers.
   for (std::size_t i = 1; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_current_thread_name(i);
+      worker_loop();
+    });
   }
 }
 
@@ -25,6 +48,28 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Deterministic drain: workers exit only once the queue is empty, but a
+  // pool with zero workers (single-core machine) may still hold enqueued
+  // tasks — run them here so every queued task executes exactly once and the
+  // queue-depth gauge reads zero at exit.
+  while (!queue_.empty()) {
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    MLSIM_GAUGE_SET(obs::names::kPoolQueueDepth,
+                    static_cast<double>(queue_.size()));
+    run_task(task);
+  }
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::run_task(Task& task) {
+  MLSIM_HIST_TIMER(obs::names::kPoolTaskNs);
+  task.fn();
+  MLSIM_COUNTER_ADD(obs::names::kPoolTasksDone, 1);
 }
 
 void ThreadPool::worker_loop() {
@@ -36,8 +81,10 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      MLSIM_GAUGE_SET(obs::names::kPoolQueueDepth,
+                      static_cast<double>(queue_.size()));
     }
-    task.fn();
+    run_task(task);
   }
 }
 
@@ -45,6 +92,8 @@ void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard lk(mu_);
     queue_.push_back(Task{std::move(fn)});
+    MLSIM_GAUGE_SET(obs::names::kPoolQueueDepth,
+                    static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }

@@ -3,6 +3,11 @@
 // The library runs on anything from 1 core (this development machine) to a
 // many-core node; parallel_for degrades gracefully to a serial loop when the
 // pool has a single worker.
+//
+// Workers are named `mlsim-worker-N` (visible in /proc and profilers), and
+// shutdown drains deterministically: every enqueued task runs exactly once
+// before the destructor returns, so the `thread_pool.queue_depth` gauge
+// (see obs/metric_names.h) reads zero at exit.
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +31,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
 
+  /// Tasks currently queued (not yet picked up by a worker).
+  std::size_t pending() const;
+
   /// Run fn(i) for i in [begin, end), partitioned in contiguous chunks across
   /// the pool plus the calling thread. Blocks until all iterations finish.
   /// Exceptions from workers are rethrown on the caller (first one wins).
@@ -46,10 +54,11 @@ class ThreadPool {
 
   void worker_loop();
   void enqueue(std::function<void()> fn);
+  void run_task(Task& task);
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace mlsim::core {
 
@@ -18,6 +19,8 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
   SimOutput out;
   out.instructions = end - begin;
   if (out.instructions == 0) return out;
+
+  MLSIM_TRACE_SPAN("gpu_sim/run");
 
   const std::size_t rows = opts_.context_length + 1;
   const CostModel& cm = opts_.costs;
@@ -46,6 +49,9 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
   std::size_t cur = begin;   // instruction currently being simulated
   while (cur < end) {
     if (queue.needs_refill()) {
+      MLSIM_TRACE_SPAN("gpu_sim/copy");
+      MLSIM_HIST_TIMER(obs::names::kGpuSimBatchFillNs);
+      MLSIM_COUNTER_ADD(obs::names::kGpuSimBatches, 1);
       if (swiq_path) {
         if (!opts_.pipelined) {
           // Serial flow: the copy starts only after compute is done.
@@ -59,6 +65,15 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
         // Compute consumes the batch only once it has arrived. When
         // pipelined, the copy was issued during the previous batch's
         // simulation, so this wait is usually free.
+        if (obs::enabled()) {
+          // Simulated time compute will spend stalled on the in-flight copy.
+          const double compute_front = dev_.record(sim_stream);
+          if (copy_end > compute_front) {
+            MLSIM_COUNTER_ADD(
+                obs::names::kGpuSimPipelineStallNs,
+                static_cast<std::uint64_t>((copy_end - compute_front) * 1000.0));
+          }
+        }
         dev_.wait(sim_stream, copy_end);
       } else {
         next += queue.refill(
@@ -73,6 +88,8 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
     }
 
     // --- Input construction (+ per-mode data movement) -----------------------
+    {
+    MLSIM_TRACE_SPAN("gpu_sim/input_construction");
     double t = dev_.record(sim_stream);
     if (!opts_.gpu_input_construction) {
       // Baseline data path: host queue push + concat/pad + full-window H2D.
@@ -103,8 +120,13 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
       acc.transpose += cm.transpose_us(rows);
       dev_.advance(sim_stream, cm.transpose_us(rows));
     }
+    queue.build_window(window);
+    }
 
     // --- Inference ------------------------------------------------------------
+    LatencyPrediction p;
+    {
+    MLSIM_TRACE_SPAN("gpu_sim/inference");
     const double valid_fraction =
         (static_cast<double>(ctx) + 1.0) / static_cast<double>(rows);
     const double inf_us = cm.inference_us(opts_.engine, flops, 1,
@@ -114,9 +136,8 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
 
     // Functional prediction — real computation, identical across all cost
     // toggles (the toggles change only where/so-how-fast steps run).
-    queue.build_window(window);
-    const LatencyPrediction p =
-        predictor_.predict(WindowView{window.data(), rows}, cur);
+    p = predictor_.predict(WindowView{window.data(), rows}, cur);
+    }
     queue.apply_prediction(p);
     if (opts_.record_predictions) out.predictions.push_back(p);
 
@@ -135,6 +156,18 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
   out.profile = {acc.queue_push / n, acc.input_construct / n, acc.h2d / n,
                  acc.transpose / n,  acc.inference / n,       acc.update_retire / n};
   out.avg_context_occupancy = occupancy_sum / n;
+  if (obs::enabled()) {
+    const auto to_ns = [](double us) {
+      return static_cast<std::uint64_t>(us * 1000.0);
+    };
+    MLSIM_COUNTER_ADD(obs::names::kGpuSimInstructions, out.instructions);
+    MLSIM_COUNTER_ADD(obs::names::kGpuSimInputConstructNs,
+                      to_ns(acc.queue_push + acc.input_construct + acc.transpose));
+    MLSIM_COUNTER_ADD(obs::names::kGpuSimInferenceNs, to_ns(acc.inference));
+    MLSIM_COUNTER_ADD(obs::names::kGpuSimCopyNs, to_ns(acc.h2d));
+    MLSIM_GAUGE_SET(obs::names::kGpuSimContextOccupancy,
+                    out.avg_context_occupancy);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/obs.h"
 
 namespace mlsim::core {
 
@@ -78,6 +79,8 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
   res.instructions = n;
   if (n == 0) return res;
 
+  MLSIM_TRACE_SPAN("parallel_sim/run");
+
   const std::size_t P = std::min(opts_.num_subtraces, n);
   const std::size_t G = std::min(opts_.num_gpus, P);
   const std::size_t per_gpu = (P + G - 1) / G;  // partitions per GPU (block)
@@ -107,6 +110,8 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
   RunningStats occupancy;  // sampled context occupancy (drives the cost model)
 
   for (std::size_t p = 0; p < P; ++p) {
+    MLSIM_TRACE_SPAN("parallel_sim/partition");
+    MLSIM_HIST_TIMER(obs::names::kParSimPartitionNs);
     const std::size_t b = res.boundaries[p], e = res.boundaries[p + 1];
     const std::size_t h_begin = b >= opts_.warmup ? b - opts_.warmup : 0;
     res.warmup_instructions += b - h_begin;
@@ -152,6 +157,7 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
 
     // ---- Post-error correction of this partition's head -------------------
     if (correcting && p > 0 && gpu_of(p) == gpu_of(p - 1) && !prev_ring.empty()) {
+      MLSIM_TRACE_SPAN("parallel_sim/correction");
       std::size_t corrected = 0;
       std::uint64_t cclock = prev_clock;
       for (std::size_t j = 0; j < head_limit && b + j < e; ++j) {
@@ -183,6 +189,7 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
       prev_clock = clock;
       prev_oldest = h_begin;
     }
+    MLSIM_COUNTER_ADD(obs::names::kParSimPartitionsDone, 1);
   }
 
   for (std::size_t p = 0; p < P; ++p) res.total_cycles += partition_cycles[p];
@@ -193,6 +200,16 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
   if (flops == 0) flops = simnet3c2f_flops(rows);
   const double occ = occupancy.count() ? occupancy.mean() : 0.3;
   res.sim_time_us = model_parallel_time_us(opts_, partition_steps, flops, occ);
+  if (obs::enabled()) {
+    MLSIM_COUNTER_ADD(obs::names::kParSimInstructions, n);
+    MLSIM_COUNTER_ADD(obs::names::kParSimWarmupInstructions,
+                      res.warmup_instructions);
+    MLSIM_COUNTER_ADD(obs::names::kParSimCorrectedInstructions,
+                      res.corrected_instructions);
+    // Mean valid fraction of the lockstep batch window — what the modeled
+    // per-GPU batched inference actually occupies.
+    MLSIM_GAUGE_SET(obs::names::kParSimBatchOccupancy, occ);
+  }
   return res;
 }
 

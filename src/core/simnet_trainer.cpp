@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "core/sequential_sim.h"
 #include "tensor/optim.h"
 #include "tensor/quant.h"
@@ -117,6 +118,8 @@ SimNetBundle train_simnet(const std::vector<const trace::EncodedTrace*>& traces,
 
   float last_loss = 0.0f;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    MLSIM_TRACE_SPAN("train/epoch");
+    MLSIM_HIST_TIMER(obs::names::kTrainEpochNs);
     // Fisher-Yates shuffle with our deterministic RNG.
     for (std::size_t i = train_set.size(); i > 1; --i) {
       std::swap(train_set[i - 1], train_set[rng.next_below(i)]);
@@ -124,6 +127,7 @@ SimNetBundle train_simnet(const std::vector<const trace::EncodedTrace*>& traces,
     double epoch_loss = 0.0;
     std::size_t batches = 0;
     for (std::size_t off = 0; off + B <= train_set.size(); off += B) {
+      MLSIM_HIST_TIMER(obs::names::kTrainStepNs);
       for (std::size_t b = 0; b < B; ++b) {
         const Sample s = train_set[off + b];
         fill_sample(datasets[s.ds], s.idx, scales, scratch, x.data() + b * F * W,
@@ -135,9 +139,12 @@ SimNetBundle train_simnet(const std::vector<const trace::EncodedTrace*>& traces,
       model.backward(grad);
       optim.step();
       ++batches;
+      MLSIM_COUNTER_ADD(obs::names::kTrainSteps, 1);
     }
     last_loss = batches ? static_cast<float>(epoch_loss / static_cast<double>(batches))
                         : 0.0f;
+    MLSIM_COUNTER_ADD(obs::names::kTrainEpochs, 1);
+    MLSIM_GAUGE_SET(obs::names::kTrainLastLoss, static_cast<double>(last_loss));
   }
 
   SimNetBundle bundle{std::move(model), std::move(scales)};

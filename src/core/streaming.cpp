@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace mlsim::core {
 
@@ -24,20 +25,33 @@ StreamingResult simulate_stream(LatencyPredictor& predictor,
   trace::EncodedTrace buf(stream.benchmark());
   std::size_t local = 0;  // next buffer row to simulate
 
+  MLSIM_TRACE_SPAN("stream/run");
   while (res.instructions < total_instructions) {
     const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
         chunk_size, total_instructions - res.instructions));
-    stream.fill(buf, want);
-
-    for (; local < buf.size(); ++local) {
-      const LazyWindow lw(buf, local, /*oldest=*/0, ring.data(), cap, clock, rows);
-      const LatencyPrediction p = predictor.predict_lazy(lw);
-      ring[local % cap] = clock + p.fetch + p.exec + p.store;
-      clock += p.fetch;
-      res.predicted_cycles += p.fetch;
-      res.truth_cycles += buf.targets(local)[0];
-      ++res.instructions;
+    {
+      MLSIM_TRACE_SPAN("stream/fill");
+      MLSIM_HIST_TIMER(obs::names::kStreamFillNs);
+      stream.fill(buf, want);
     }
+    MLSIM_GAUGE_SET(obs::names::kStreamRowsResident,
+                    static_cast<double>(buf.size()));
+
+    {
+      MLSIM_TRACE_SPAN("stream/predict");
+      MLSIM_HIST_TIMER(obs::names::kStreamPredictNs);
+      for (; local < buf.size(); ++local) {
+        const LazyWindow lw(buf, local, /*oldest=*/0, ring.data(), cap, clock,
+                            rows);
+        const LatencyPrediction p = predictor.predict_lazy(lw);
+        ring[local % cap] = clock + p.fetch + p.exec + p.store;
+        clock += p.fetch;
+        res.predicted_cycles += p.fetch;
+        res.truth_cycles += buf.targets(local)[0];
+        ++res.instructions;
+      }
+    }
+    MLSIM_COUNTER_ADD(obs::names::kStreamChunks, 1);
 
     // Compact: keep at least the context window; drop a multiple of the
     // ring capacity so (index % cap) stays aligned across the shift.
@@ -47,9 +61,12 @@ StreamingResult simulate_stream(LatencyPredictor& predictor,
       if (drop > 0) {
         buf = buf.slice(drop, buf.size());
         local -= drop;
+        MLSIM_GAUGE_SET(obs::names::kStreamRowsResident,
+                        static_cast<double>(buf.size()));
       }
     }
   }
+  MLSIM_COUNTER_ADD(obs::names::kStreamInstructions, res.instructions);
   return res;
 }
 

@@ -1,0 +1,97 @@
+// Canonical metric names for the built-in instrumentation.
+//
+// Naming convention (see docs/OBSERVABILITY.md): `<subsystem>.<what>[_unit]`.
+// Counters count events or accumulated quantities, gauges hold last-written
+// values, histograms record distributions (durations in nanoseconds unless
+// the name says otherwise). Every name listed in `kBuiltinMetrics` is
+// pre-registered by `default_registry()` so a metrics dump always exposes
+// the full schema, including subsystems that did not run.
+#pragma once
+
+#include <cstddef>
+
+namespace mlsim::obs::names {
+
+// -- gpu_sim (single-device engine, src/core/gpu_sim.cpp) --------------------
+inline constexpr const char* kGpuSimInstructions = "gpu_sim.instructions";
+inline constexpr const char* kGpuSimBatches = "gpu_sim.batches";
+// Simulated-time (cost model) phase totals, integer nanoseconds.
+inline constexpr const char* kGpuSimInputConstructNs = "gpu_sim.input_construct_ns";
+inline constexpr const char* kGpuSimInferenceNs = "gpu_sim.inference_ns";
+inline constexpr const char* kGpuSimCopyNs = "gpu_sim.copy_ns";
+inline constexpr const char* kGpuSimPipelineStallNs = "gpu_sim.pipeline_stall_ns";
+inline constexpr const char* kGpuSimContextOccupancy = "gpu_sim.context_occupancy";
+inline constexpr const char* kGpuSimBatchFillNs = "gpu_sim.batch_fill_ns";
+
+// -- parallel_sim (sub-trace engine, src/core/parallel_sim.cpp) --------------
+inline constexpr const char* kParSimPartitionsDone = "parallel_sim.partitions_done";
+inline constexpr const char* kParSimWarmupInstructions =
+    "parallel_sim.warmup_instructions";
+inline constexpr const char* kParSimCorrectedInstructions =
+    "parallel_sim.corrected_instructions";
+inline constexpr const char* kParSimInstructions = "parallel_sim.instructions";
+inline constexpr const char* kParSimBatchOccupancy =
+    "parallel_sim.gpu_batch_occupancy";
+inline constexpr const char* kParSimPartitionNs = "parallel_sim.partition_ns";
+
+// -- streaming (src/core/streaming.cpp) --------------------------------------
+inline constexpr const char* kStreamChunks = "streaming.chunks";
+inline constexpr const char* kStreamInstructions = "streaming.instructions";
+inline constexpr const char* kStreamRowsResident = "streaming.rows_resident";
+inline constexpr const char* kStreamFillNs = "streaming.chunk_fill_ns";
+inline constexpr const char* kStreamPredictNs = "streaming.chunk_predict_ns";
+
+// -- trainer (src/core/simnet_trainer.cpp) -----------------------------------
+inline constexpr const char* kTrainEpochs = "trainer.epochs";
+inline constexpr const char* kTrainSteps = "trainer.steps";
+inline constexpr const char* kTrainLastLoss = "trainer.last_epoch_loss";
+inline constexpr const char* kTrainStepNs = "trainer.step_ns";
+inline constexpr const char* kTrainEpochNs = "trainer.epoch_ns";
+
+// -- thread_pool (src/common/thread_pool.cpp) --------------------------------
+inline constexpr const char* kPoolQueueDepth = "thread_pool.queue_depth";
+inline constexpr const char* kPoolTasksDone = "thread_pool.tasks_done";
+inline constexpr const char* kPoolTaskNs = "thread_pool.task_ns";
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct BuiltinMetric {
+  const char* name;
+  MetricKind kind;
+};
+
+/// Every built-in metric, pre-registered by `obs::default_registry()`.
+inline constexpr BuiltinMetric kBuiltinMetrics[] = {
+    {kGpuSimInstructions, MetricKind::kCounter},
+    {kGpuSimBatches, MetricKind::kCounter},
+    {kGpuSimInputConstructNs, MetricKind::kCounter},
+    {kGpuSimInferenceNs, MetricKind::kCounter},
+    {kGpuSimCopyNs, MetricKind::kCounter},
+    {kGpuSimPipelineStallNs, MetricKind::kCounter},
+    {kGpuSimContextOccupancy, MetricKind::kGauge},
+    {kGpuSimBatchFillNs, MetricKind::kHistogram},
+    {kParSimPartitionsDone, MetricKind::kCounter},
+    {kParSimWarmupInstructions, MetricKind::kCounter},
+    {kParSimCorrectedInstructions, MetricKind::kCounter},
+    {kParSimInstructions, MetricKind::kCounter},
+    {kParSimBatchOccupancy, MetricKind::kGauge},
+    {kParSimPartitionNs, MetricKind::kHistogram},
+    {kStreamChunks, MetricKind::kCounter},
+    {kStreamInstructions, MetricKind::kCounter},
+    {kStreamRowsResident, MetricKind::kGauge},
+    {kStreamFillNs, MetricKind::kHistogram},
+    {kStreamPredictNs, MetricKind::kHistogram},
+    {kTrainEpochs, MetricKind::kCounter},
+    {kTrainSteps, MetricKind::kCounter},
+    {kTrainLastLoss, MetricKind::kGauge},
+    {kTrainStepNs, MetricKind::kHistogram},
+    {kTrainEpochNs, MetricKind::kHistogram},
+    {kPoolQueueDepth, MetricKind::kGauge},
+    {kPoolTasksDone, MetricKind::kCounter},
+    {kPoolTaskNs, MetricKind::kHistogram},
+};
+
+inline constexpr std::size_t kNumBuiltinMetrics =
+    sizeof(kBuiltinMetrics) / sizeof(kBuiltinMetrics[0]);
+
+}  // namespace mlsim::obs::names

@@ -1,0 +1,18 @@
+#include "obs/obs.h"
+
+namespace mlsim::obs {
+
+#ifndef MLSIM_OBS_DISABLE
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if (on) session_now_ns();  // pin the session clock before the first span
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+#endif  // MLSIM_OBS_DISABLE
+
+}  // namespace mlsim::obs

@@ -1,0 +1,280 @@
+#include "obs/registry.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "obs/metric_names.h"
+
+namespace mlsim::obs {
+
+namespace {
+
+std::uint64_t dbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bitsd(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+/// Four buckets per decade over [1, 1e9]: resolves nanosecond durations from
+/// 1 ns to 1 s; anything larger lands in the open-ended last bucket.
+std::vector<double> default_edges() {
+  std::vector<double> edges;
+  edges.reserve(37);
+  for (int k = 0; k <= 36; ++k) {
+    edges.push_back(std::pow(10.0, static_cast<double>(k) / 4.0));
+  }
+  return edges;
+}
+
+/// JSON-safe number: NaN/inf become null (JSON has no non-finite literals).
+void json_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::uint64_t Gauge::encode(double v) { return dbits(v); }
+double Gauge::decode(std::uint64_t bits) { return bitsd(bits); }
+
+void Gauge::add(double delta) {
+  std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(cur, encode(decode(cur) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram() : Histogram(default_edges()) {}
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)),
+      min_bits_(dbits(std::numeric_limits<double>::infinity())),
+      max_bits_(dbits(-std::numeric_limits<double>::infinity())) {
+  check(!edges_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    check(edges_[i - 1] < edges_[i], "histogram edges must be ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::record(double v) {
+  // First bucket whose upper edge holds v; overflow -> open-ended last bucket.
+  std::size_t lo = 0, hi = edges_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (v <= edges_[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(cur, dbits(bitsd(cur) + v),
+                                          std::memory_order_relaxed)) {
+  }
+  cur = min_bits_.load(std::memory_order_relaxed);
+  while (v < bitsd(cur) &&
+         !min_bits_.compare_exchange_weak(cur, dbits(v), std::memory_order_relaxed)) {
+  }
+  cur = max_bits_.load(std::memory_order_relaxed);
+  while (v > bitsd(cur) &&
+         !max_bits_.compare_exchange_weak(cur, dbits(v), std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.upper_edges = edges_;
+  s.counts.resize(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = bitsd(sum_bits_.load(std::memory_order_relaxed));
+  if (s.count > 0) {
+    s.min = bitsd(min_bits_.load(std::memory_order_relaxed));
+    s.max = bitsd(max_bits_.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(dbits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(dbits(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  double q = quantile_from_buckets(upper_edges, counts, p);
+  // The bucket interpolation only knows edges; observed min/max tighten it.
+  if (count > 0 && std::isfinite(q)) {
+    q = std::max(min, std::min(max, q));
+  }
+  return q;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind) {
+  std::lock_guard lk(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    check(it->second.kind == kind,
+          "metric registered twice with different kinds: " + name);
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+  }
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *find_or_create(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *find_or_create(name, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return *find_or_create(name, Kind::kHistogram).histogram;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_edges) {
+  std::lock_guard lk(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    check(it->second.kind == Kind::kHistogram,
+          "metric registered twice with different kinds: " + name);
+    return *it->second.histogram;
+  }
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = std::make_unique<Histogram>(std::move(upper_edges));
+  return *metrics_.emplace(name, std::move(e)).first->second.histogram;
+}
+
+std::vector<std::string> Registry::metric_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) out.push_back(name);
+  return out;
+}
+
+void Registry::write_text(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "counter " << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "gauge " << name << ' ' << e.gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot s = e.histogram->snapshot();
+        os << "histogram " << name << " count=" << s.count << " sum=" << s.sum
+           << " min=" << s.min << " max=" << s.max << " mean=" << s.mean()
+           << " p50=" << s.quantile(50) << " p95=" << s.quantile(95)
+           << " p99=" << s.quantile(99) << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (e.kind != Kind::kCounter) continue;
+    os << (first ? "" : ",") << '"' << name << "\":" << e.counter->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (e.kind != Kind::kGauge) continue;
+    os << (first ? "" : ",") << '"' << name << "\":";
+    json_number(os, e.gauge->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (e.kind != Kind::kHistogram) continue;
+    const HistogramSnapshot s = e.histogram->snapshot();
+    os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << s.count
+       << ",\"sum\":";
+    json_number(os, s.sum);
+    os << ",\"min\":";
+    json_number(os, s.min);
+    os << ",\"max\":";
+    json_number(os, s.max);
+    os << ",\"mean\":";
+    json_number(os, s.mean());
+    os << ",\"p50\":";
+    json_number(os, s.quantile(50));
+    os << ",\"p95\":";
+    json_number(os, s.quantile(95));
+    os << ",\"p99\":";
+    json_number(os, s.quantile(99));
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      os << (i ? "," : "") << s.counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+Registry& default_registry() {
+  static Registry* reg = [] {
+    auto* r = new Registry();
+    // Pre-register the canonical engine metrics so exposition always covers
+    // every subsystem, including ones that did not run in this process.
+    for (const auto& m : names::kBuiltinMetrics) {
+      switch (m.kind) {
+        case names::MetricKind::kCounter: r->counter(m.name); break;
+        case names::MetricKind::kGauge: r->gauge(m.name); break;
+        case names::MetricKind::kHistogram: r->histogram(m.name); break;
+      }
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace mlsim::obs

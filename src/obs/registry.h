@@ -1,0 +1,132 @@
+// Thread-safe metrics registry: monotonic counters, gauges, and fixed-bucket
+// latency histograms with interpolated quantiles.
+//
+// Metric objects are lock-free once obtained (atomics only); registration /
+// lookup takes a registry mutex. Handles returned by the registry are stable
+// for the registry's lifetime, so hot paths cache a reference (the MLSIM_*
+// macros in obs.h do exactly that via a function-local static).
+//
+// A process-global `default_registry()` pre-registers the canonical engine
+// metrics (metric_names.h) so exposition always covers every subsystem.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlsim::obs {
+
+/// Monotonically increasing counter (events, accumulated µs, ...).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (queue depth, occupancy, resident rows, ...).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};  // bit pattern of 0.0
+};
+
+/// Consistent snapshot of a histogram (taken bucket-by-bucket with relaxed
+/// loads; exact under quiescence, approximate under concurrent recording).
+struct HistogramSnapshot {
+  std::vector<double> upper_edges;   // ascending; last bucket is open-ended
+  std::vector<std::uint64_t> counts;  // same size as upper_edges
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Interpolated quantile, p in [0, 100]; NaN when empty.
+  double quantile(double p) const;
+};
+
+/// Fixed-bucket histogram. Default buckets are exponential (factor ~1.78,
+/// i.e. four per decade) spanning [1, 1e9] — nanosecond durations from 1 ns
+/// to 1 s land in distinct buckets; values outside fall into the first /
+/// open-ended last bucket.
+class Histogram {
+ public:
+  Histogram();  // default exponential edges
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> edges_;  // ascending upper bounds, size B; bucket B-1 open
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};   // double bit pattern, CAS-accumulated
+  std::atomic<std::uint64_t> min_bits_;      // double bit pattern
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Named metric store. `counter()`/`gauge()`/`histogram()` find-or-create;
+/// requesting an existing name with a different kind throws CheckError.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> upper_edges);
+
+  /// Sorted names of all registered metrics.
+  std::vector<std::string> metric_names() const;
+
+  /// Prometheus-style plain-text exposition (counters/gauges as single
+  /// samples, histograms as count/sum/min/max/mean/p50/p95/p99 lines).
+  void write_text(std::ostream& os) const;
+
+  /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+
+  /// Zero every metric (keeps registrations).
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // ordered -> deterministic exposition
+};
+
+/// Process-global registry with the built-in engine metrics pre-registered.
+Registry& default_registry();
+
+}  // namespace mlsim::obs

@@ -1,0 +1,172 @@
+#include "obs/trace_event.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace mlsim::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ThreadBuffer {
+  std::vector<TraceEvent> ring;
+  std::uint64_t written = 0;  // total appended; ring holds the most recent
+  std::uint32_t tid = 0;
+
+  void append(const TraceEvent& e) {
+    if (ring.size() < kThreadRingCapacity) {
+      ring.push_back(e);
+    } else {
+      ring[written % kThreadRingCapacity] = e;
+    }
+    ++written;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;  // guards `buffers` registration and export/reset
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint64_t> t0_ns{0};
+  std::atomic<std::uint32_t> next_tid{1};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives exiting threads
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = state().next_tid.fetch_add(1, std::memory_order_relaxed);
+    ThreadBuffer* raw = owned.get();
+    std::lock_guard lk(state().mu);
+    state().buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+std::uint64_t session_now_ns() {
+  std::uint64_t t0 = state().t0_ns.load(std::memory_order_relaxed);
+  if (t0 == 0) {
+    // First use: pin the session origin (racy ties resolved by CAS).
+    std::uint64_t expected = 0;
+    const std::uint64_t now = steady_ns();
+    if (state().t0_ns.compare_exchange_strong(expected, now,
+                                              std::memory_order_relaxed)) {
+      t0 = now;
+    } else {
+      t0 = expected;
+    }
+  }
+  const std::uint64_t now = steady_ns();
+  return now > t0 ? now - t0 : 0;
+}
+
+void record_complete_event(const char* name, std::uint64_t ts_ns,
+                           std::uint64_t dur_ns, std::uint32_t depth) {
+  thread_buffer().append(TraceEvent{name, ts_ns, dur_ns, depth});
+}
+
+std::uint32_t& thread_span_depth() {
+  thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+void reset_trace() {
+  std::lock_guard lk(state().mu);
+  for (auto& b : state().buffers) {
+    b->ring.clear();
+    b->written = 0;
+  }
+  state().t0_ns.store(steady_ns(), std::memory_order_relaxed);
+}
+
+std::uint64_t recorded_events() {
+  std::lock_guard lk(state().mu);
+  std::uint64_t n = 0;
+  for (const auto& b : state().buffers) n += b->ring.size();
+  return n;
+}
+
+std::uint64_t dropped_events() {
+  std::lock_guard lk(state().mu);
+  std::uint64_t n = 0;
+  for (const auto& b : state().buffers) {
+    if (b->written > kThreadRingCapacity) n += b->written - kThreadRingCapacity;
+  }
+  return n;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  std::lock_guard lk(state().mu);
+  // Default stream precision (6 significant digits) would round µs timestamps
+  // enough to break visual nesting for sessions longer than ~1 s.
+  const auto old_precision = os.precision(15);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& b : state().buffers) {
+    for (const TraceEvent& e : b->ring) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"";
+      write_escaped(os, e.name);
+      // Chrome trace timestamps are microseconds; keep ns resolution via
+      // fractional µs.
+      os << "\",\"cat\":\"mlsim\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(e.ts_ns) / 1000.0
+         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
+         << ",\"pid\":1,\"tid\":" << b->tid << ",\"args\":{\"depth\":" << e.depth
+         << "}}";
+    }
+  }
+  std::uint64_t dropped = 0;
+  for (const auto& b : state().buffers) {
+    if (b->written > kThreadRingCapacity) {
+      dropped += b->written - kThreadRingCapacity;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
+     << dropped << "}}";
+  os.precision(old_precision);
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace mlsim::obs

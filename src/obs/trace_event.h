@@ -1,0 +1,55 @@
+// Scoped-span trace recording with Chrome trace-event JSON export.
+//
+// Spans are recorded as complete ("ph":"X") events into lock-free per-thread
+// ring buffers: the owning thread appends with no synchronisation; buffers
+// are registered once (under a mutex) when a thread records its first event
+// and owned globally so events survive worker-thread exit. When a ring
+// wraps, the oldest events are overwritten and counted as dropped.
+//
+// Timestamps come from std::chrono::steady_clock, relative to the session
+// start (set by `reset_trace()` or the first `obs::set_enabled(true)`).
+// Export is intended for quiescent points (end of run); exporting while
+// other threads are still recording yields a best-effort snapshot.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mlsim::obs {
+
+struct TraceEvent {
+  const char* name;     // must outlive the session — pass string literals
+  std::uint64_t ts_ns;  // span start, relative to session start
+  std::uint64_t dur_ns;
+  std::uint32_t depth;  // thread-local span-stack depth at open (0 = root)
+};
+
+/// Events each thread can hold before its ring wraps (~6 MiB/thread).
+inline constexpr std::size_t kThreadRingCapacity = std::size_t{1} << 18;
+
+/// Nanoseconds since session start (steady clock).
+std::uint64_t session_now_ns();
+
+/// Append a complete event to the calling thread's ring buffer.
+void record_complete_event(const char* name, std::uint64_t ts_ns,
+                           std::uint64_t dur_ns, std::uint32_t depth);
+
+/// Thread-local open-span depth (maintained by ScopedSpan).
+std::uint32_t& thread_span_depth();
+
+/// Clear all buffered events and restart the session clock.
+void reset_trace();
+
+/// Events currently buffered / overwritten across all threads.
+std::uint64_t recorded_events();
+std::uint64_t dropped_events();
+
+/// Chrome trace-event JSON ("traceEvents" array of "ph":"X" events, µs
+/// timestamps) — loadable in chrome://tracing and Perfetto.
+void write_chrome_trace(std::ostream& os);
+
+/// Convenience: write to a file; returns false if the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace mlsim::obs

@@ -1,0 +1,298 @@
+// Observability layer: registry concurrency, span nesting + Chrome-trace
+// export round-trip, disabled-mode no-op behaviour, histogram quantiles, and
+// the thread-pool drain guarantees the queue-depth gauge relies on.
+//
+// This file compiles and passes in both the instrumented build and the
+// stripped one (-DMLSIM_OBS_DISABLE=ON): assertions that require recording
+// are guarded on obs::kCompiledIn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace mlsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry primitives
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, CounterGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same handle.
+  reg.counter("test.counter").add(8);
+  EXPECT_EQ(c.value(), 50u);
+
+  obs::Gauge& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("test.metric");
+  EXPECT_THROW(reg.gauge("test.metric"), CheckError);
+  EXPECT_THROW(reg.histogram("test.metric"), CheckError);
+}
+
+TEST(ObsRegistry, HistogramStatsAndQuantiles) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("test.hist");
+  for (int v = 1; v <= 100; ++v) h.record(static_cast<double>(v));
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Default buckets are coarse (4/decade); the interpolated median must land
+  // inside the bucket containing the true median (31.6, 56.2].
+  const double p50 = s.quantile(50);
+  EXPECT_GT(p50, 30.0);
+  EXPECT_LT(p50, 57.0);
+  const double p99 = s.quantile(99);
+  EXPECT_GT(p99, 56.0);
+  EXPECT_LE(p99, 100.0);  // clamped by the observed max
+}
+
+TEST(ObsRegistry, HistogramCustomEdgesAndEmptyQuantile) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("test.custom", {1.0, 2.0, 4.0});
+  EXPECT_TRUE(std::isnan(h.snapshot().quantile(50)));
+  h.record(0.5);
+  h.record(1.5);
+  h.record(100.0);  // overflow -> open-ended last bucket
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(ObsRegistry, QuantileFromBuckets) {
+  const std::vector<double> edges{10.0, 20.0, 30.0};
+  // 10 samples in (10, 20]: the median interpolates inside that bucket.
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(edges, {0, 10, 0}, 50), 15.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(edges, {0, 10, 0}, 100), 20.0);
+  // Mass in the last bucket interpolates inside it like any other; a
+  // Histogram snapshot additionally clamps to the observed max.
+  EXPECT_NEAR(quantile_from_buckets(edges, {0, 0, 4}, 99), 29.9, 1e-9);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(edges, {0, 0, 4}, 100), 30.0);
+  EXPECT_TRUE(std::isnan(quantile_from_buckets(edges, {0, 0, 0}, 50)));
+  EXPECT_THROW(quantile_from_buckets(edges, {1, 2}, 50), CheckError);
+}
+
+TEST(ObsRegistry, ConcurrentCountersAndHistograms) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.concurrent_counter");
+  obs::Gauge& g = reg.gauge("test.concurrent_gauge");
+  obs::Histogram& h = reg.histogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        g.add(1.0);
+        h.record(static_cast<double>(i % 1000) + 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kIters);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.counts) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(ObsRegistry, DefaultRegistryCoversAllSubsystems) {
+  const std::vector<std::string> names = obs::default_registry().metric_names();
+  const auto has_prefix = [&](const std::string& prefix) {
+    for (const auto& n : names) {
+      if (n.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_prefix("gpu_sim."));
+  EXPECT_TRUE(has_prefix("parallel_sim."));
+  EXPECT_TRUE(has_prefix("streaming."));
+  EXPECT_TRUE(has_prefix("trainer."));
+  EXPECT_TRUE(has_prefix("thread_pool."));
+
+  std::ostringstream text, json;
+  obs::default_registry().write_text(text);
+  obs::default_registry().write_json(json);
+  for (const char* sub :
+       {"gpu_sim.", "parallel_sim.", "streaming.", "trainer.", "thread_pool."}) {
+    EXPECT_NE(text.str().find(sub), std::string::npos) << sub;
+    EXPECT_NE(json.str().find(sub), std::string::npos) << sub;
+  }
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_EQ(json.str().back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// Tracing spans
+// ---------------------------------------------------------------------------
+
+/// Pull the double following `"key":` after position `from`.
+double json_value_after(const std::string& s, const std::string& key,
+                        std::size_t from) {
+  const std::size_t k = s.find("\"" + key + "\":", from);
+  EXPECT_NE(k, std::string::npos) << key;
+  return std::strtod(s.c_str() + k + key.size() + 3, nullptr);
+}
+
+TEST(ObsTrace, SpanNestingExportRoundTrip) {
+  obs::set_enabled(true);
+  obs::reset_trace();
+  {
+    MLSIM_TRACE_SPAN("test/parent");
+    volatile double sink = 0;
+    {
+      MLSIM_TRACE_SPAN("test/child");
+      for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+    }
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  }
+  obs::set_enabled(false);
+
+  if (!obs::kCompiledIn) {
+    EXPECT_EQ(obs::recorded_events(), 0u);
+    return;
+  }
+  EXPECT_EQ(obs::recorded_events(), 2u);
+  EXPECT_EQ(obs::dropped_events(), 0u);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string j = os.str();
+  EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::size_t parent_pos = j.find("\"name\":\"test/parent\"");
+  const std::size_t child_pos = j.find("\"name\":\"test/child\"");
+  ASSERT_NE(parent_pos, std::string::npos);
+  ASSERT_NE(child_pos, std::string::npos);
+
+  const double pts = json_value_after(j, "ts", parent_pos);
+  const double pdur = json_value_after(j, "dur", parent_pos);
+  const double pdepth = json_value_after(j, "depth", parent_pos);
+  const double cts = json_value_after(j, "ts", child_pos);
+  const double cdur = json_value_after(j, "dur", child_pos);
+  const double cdepth = json_value_after(j, "depth", child_pos);
+
+  EXPECT_EQ(pdepth, 0.0);
+  EXPECT_EQ(cdepth, 1.0);
+  // Child interval nests inside the parent interval (µs, same thread).
+  EXPECT_GE(cts, pts);
+  EXPECT_LE(cts + cdur, pts + pdur + 1e-3);
+}
+
+TEST(ObsTrace, EventsFromMultipleThreadsCarryDistinctTids) {
+  obs::set_enabled(true);
+  obs::reset_trace();
+  {
+    MLSIM_TRACE_SPAN("test/main-thread");
+  }
+  std::thread t([] { MLSIM_TRACE_SPAN("test/other-thread"); });
+  t.join();
+  obs::set_enabled(false);
+
+  if (!obs::kCompiledIn) {
+    EXPECT_EQ(obs::recorded_events(), 0u);
+    return;
+  }
+  EXPECT_EQ(obs::recorded_events(), 2u);
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string j = os.str();
+  const std::size_t a = j.find("\"name\":\"test/main-thread\"");
+  const std::size_t b = j.find("\"name\":\"test/other-thread\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_NE(json_value_after(j, "tid", a), json_value_after(j, "tid", b));
+}
+
+TEST(ObsTrace, RuntimeDisabledRecordsNothing) {
+  obs::set_enabled(false);
+  obs::reset_trace();
+  const std::uint64_t before =
+      obs::default_registry().counter("test.disabled_counter").value();
+  {
+    MLSIM_TRACE_SPAN("test/should-not-appear");
+    MLSIM_COUNTER_ADD("test.disabled_counter", 7);
+    MLSIM_GAUGE_SET("test.disabled_gauge", 1.0);
+    MLSIM_HIST_RECORD("test.disabled_hist", 5.0);
+  }
+  EXPECT_EQ(obs::recorded_events(), 0u);
+  EXPECT_EQ(obs::default_registry().counter("test.disabled_counter").value(),
+            before);
+}
+
+TEST(ObsTrace, CompileTimeDisabledIsNoOp) {
+  if (obs::kCompiledIn) GTEST_SKIP() << "instrumented build";
+  obs::set_enabled(true);  // must be a no-op in the stripped build
+  EXPECT_FALSE(obs::enabled());
+  {
+    MLSIM_TRACE_SPAN("test/compiled-out");
+  }
+  EXPECT_EQ(obs::recorded_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool integration
+// ---------------------------------------------------------------------------
+
+TEST(ObsThreadPool, DrainsAndReportsZeroQueueDepth) {
+  obs::set_enabled(true);
+  obs::reset_trace();
+  const std::uint64_t tasks_before =
+      obs::default_registry().counter(obs::names::kPoolTasksDone).value();
+  std::atomic<std::size_t> touched{0};
+  {
+    ThreadPool pool(4);
+    pool.parallel_for(0, 1000, [&](std::size_t) {
+      touched.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(pool.pending(), 0u);
+  }
+  obs::set_enabled(false);
+  EXPECT_EQ(touched.load(), 1000u);
+  if (obs::kCompiledIn) {
+    EXPECT_DOUBLE_EQ(
+        obs::default_registry().gauge(obs::names::kPoolQueueDepth).value(), 0.0);
+    EXPECT_GT(obs::default_registry().counter(obs::names::kPoolTasksDone).value(),
+              tasks_before);
+  }
+}
+
+}  // namespace
+}  // namespace mlsim
