@@ -100,7 +100,9 @@ core::SimNetBundle trained_bundle(std::size_t window,
   core::SimNetBundle bundle = core::train_simnet(ptrs, cfg, &report);
   std::cout << "[trained: loss=" << report.final_loss
             << " holdout fetch MAPE=" << report.holdout_mape_fetch << "%]\n";
-  bundle.save(artifact_path(name.str()));
+  artifact_commit(name.str(), [&bundle](const std::filesystem::path& p) {
+    bundle.save(p);
+  });
   return bundle;
 }
 

@@ -1,0 +1,100 @@
+// Fault-recovery study (docs/RESILIENCE.md, no paper counterpart): CPI
+// fidelity and modeled-time cost of the parallel engine under injected
+// device kills and corrupted inference outputs. The headline property is
+// that recovery is *exact* — killed attempts replay deterministically and
+// degraded partitions land on the fallback predictor — so the recovered CPI
+// error stays equal to the fault-free §V-B error while only the modeled
+// wall-clock pays (wasted attempts, shrunken device pool, retry backoff).
+#include "bench_util.h"
+#include "core/analytic_predictor.h"
+#include "core/parallel_sim.h"
+#include "device/fault.h"
+
+using namespace mlsim;
+
+namespace {
+
+core::ParallelSimOptions config(std::size_t parts, std::size_t ctx) {
+  core::ParallelSimOptions o;
+  o.num_subtraces = parts;
+  o.num_gpus = 8;
+  o.context_length = ctx;
+  o.warmup = ctx;
+  o.post_error_correction = true;
+  o.correction_limit = 100;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::parse(argc, argv, 400'000);
+  const std::size_t ctx = core::kDefaultContextLength;
+  const std::size_t parts = 256;
+  const std::string abbr = args.benchmark.empty() ? "mcf" : args.benchmark;
+  bench::banner("Fault recovery: CPI fidelity and modeled cost under faults",
+                abbr + ", " + std::to_string(args.instructions) +
+                    " instructions, 256 sub-traces, 8 GPUs, warmup + "
+                    "correction, retry budget 8");
+
+  core::AnalyticPredictor pred;
+  core::AnalyticPredictor fallback;
+  const auto tr = core::labeled_trace(abbr, args.instructions);
+  const double seq = bench::sequential_ml_cpi(pred, tr, ctx);
+
+  core::ParallelSimulator clean_sim(pred, config(parts, ctx));
+  const auto clean = clean_sim.run(tr);
+  const double clean_err =
+      std::abs(core::ParallelSimulator::cpi_error_percent(seq, clean.cpi()));
+
+  Table kills({"kill rate %", "CPI err %", "err / fault-free", "retries",
+               "lost devices", "time x"});
+  for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    device::FaultOptions fo;
+    fo.seed = 7;
+    fo.device_kill_rate = rate;
+    const device::FaultInjector inj(fo);
+    core::ParallelSimOptions o = config(parts, ctx);
+    if (rate > 0.0) o.faults = &inj;
+    o.max_retries_per_partition = 8;
+    core::ParallelSimulator sim(pred, o);
+    const auto res = sim.run(tr);
+    const double err =
+        std::abs(core::ParallelSimulator::cpi_error_percent(seq, res.cpi()));
+    kills.add_row({rate * 100.0, err,
+                   clean_err > 0.0 ? err / clean_err : 1.0,
+                   static_cast<std::int64_t>(res.retries),
+                   static_cast<std::int64_t>(res.lost_devices),
+                   res.sim_time_us / clean.sim_time_us});
+  }
+  kills.set_precision(3);
+  bench::emit(kills, "fig_fault_recovery_kills");
+  std::printf("acceptance bar: err / fault-free <= 2 at a 10%% kill rate "
+              "(recovery is exact, so the ratio stays 1)\n\n");
+
+  Table corrupt({"corrupt rate %", "CPI err %", "degraded parts", "retries",
+                 "time x"});
+  for (const double rate : {0.0, 0.001, 0.005, 0.01, 0.05}) {
+    device::FaultOptions fo;
+    fo.seed = 7;
+    fo.output_corrupt_rate = rate;
+    const device::FaultInjector inj(fo);
+    core::ParallelSimOptions o = config(parts, ctx);
+    if (rate > 0.0) o.faults = &inj;
+    o.fallback = &fallback;
+    o.max_retries_per_partition = 8;
+    core::ParallelSimulator sim(pred, o);
+    const auto res = sim.run(tr);
+    corrupt.add_row(
+        {rate * 100.0,
+         std::abs(core::ParallelSimulator::cpi_error_percent(seq, res.cpi())),
+         static_cast<std::int64_t>(res.degraded_partitions.size()),
+         static_cast<std::int64_t>(res.retries),
+         res.sim_time_us / clean.sim_time_us});
+  }
+  corrupt.set_precision(3);
+  bench::emit(corrupt, "fig_fault_recovery_corruption");
+  std::printf("degraded partitions rerun on the fallback predictor; with the "
+              "analytic fallback the recovered CPI is bit-identical\n");
+  return 0;
+}

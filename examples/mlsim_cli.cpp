@@ -9,9 +9,20 @@
 //       Run the ML simulator (single optimised device, or the parallel
 //       scheme when --parallel is given) and report CPI, error vs ground
 //       truth, and modeled throughput.
+//       Fault tolerance (parallel mode only; docs/RESILIENCE.md):
+//         --fault-kill=R / --fault-corrupt=R / --fault-straggler=R
+//             inject device kills / corrupted inference outputs / stragglers
+//             at rate R in [0,1];
+//         --fault-seed=S   deterministic injection seed (default 1);
+//         --retries=N      per-partition retry budget (default 3);
+//         --checkpoint[=path]  periodic per-partition checkpointing
+//             (default path lives in the artifact cache);
+//         --resume         continue from the checkpoint if one exists.
 //
 //   mlsim_cli suite <instructions-per-benchmark> <gpus>
-//       Simulate all 21 Table I benchmarks scheduled across a GPU cluster.
+//              [--checkpoint[=path]] [--resume]
+//       Simulate all 21 Table I benchmarks scheduled across a GPU cluster;
+//       with --checkpoint a killed run resumes past completed jobs.
 //
 //   mlsim_cli rates <benchmark|trace.bin> [instructions]
 //       Print §VI-E architectural metrics (miss rates, mispredict rate,
@@ -28,6 +39,10 @@
 //                        to `path` — JSON when it ends in .json).
 //   --trace-out=<file>   record scoped spans and write Chrome trace-event
 //                        JSON loadable in chrome://tracing / Perfetto.
+//
+// Exit codes: 0 success, 2 bad usage, 3 I/O failure (missing/unwritable
+// files), 4 corrupt data or violated invariant (CheckError), 5 any other
+// internal error.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -36,12 +51,15 @@
 #include <string>
 #include <vector>
 
+#include "common/artifacts.h"
+#include "common/check.h"
 #include "common/table.h"
 #include "core/analytic_predictor.h"
 #include "core/metrics.h"
 #include "core/simulator.h"
 #include "core/streaming.h"
 #include "core/suite.h"
+#include "device/fault.h"
 #include "obs/obs.h"
 #include "trace/stream.h"
 
@@ -167,12 +185,19 @@ int cmd_simulate(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: mlsim_cli simulate <benchmark|trace.bin> "
                          "[instructions] [--parallel=P] [--gpus=G] "
-                         "[--context=C] [--no-recovery] [--metrics[=path]] "
+                         "[--context=C] [--no-recovery] [--fault-kill=R] "
+                         "[--fault-corrupt=R] [--fault-straggler=R] "
+                         "[--fault-seed=S] [--retries=N] [--checkpoint[=path]] "
+                         "[--resume] [--metrics[=path]] "
                          "[--trace-out=file.json]\n");
     return 2;
   }
-  std::size_t n = 0, parallel = 0, gpus = 1, context = 64;
-  bool recovery = true;
+  std::size_t n = 0, parallel = 0, gpus = 1, context = 64, retries = 3;
+  bool recovery = true, checkpoint = false, resume = false;
+  std::string checkpoint_path;
+  device::FaultOptions fault;
+  fault.seed = 1;
+  bool any_fault = false;
   ObsFlags obs_flags;
   for (int i = 3; i < argc; ++i) {
     const std::string s = argv[i];
@@ -180,12 +205,40 @@ int cmd_simulate(int argc, char** argv) {
     else if (s.rfind("--gpus=", 0) == 0) gpus = std::stoull(s.substr(7));
     else if (s.rfind("--context=", 0) == 0) context = std::stoull(s.substr(10));
     else if (s == "--no-recovery") recovery = false;
+    else if (s.rfind("--fault-kill=", 0) == 0) {
+      fault.device_kill_rate = std::stod(s.substr(13));
+      any_fault = true;
+    } else if (s.rfind("--fault-corrupt=", 0) == 0) {
+      fault.output_corrupt_rate = std::stod(s.substr(16));
+      any_fault = true;
+    } else if (s.rfind("--fault-straggler=", 0) == 0) {
+      fault.straggler_rate = std::stod(s.substr(18));
+      any_fault = true;
+    } else if (s.rfind("--fault-seed=", 0) == 0) {
+      fault.seed = std::stoull(s.substr(13));
+    } else if (s.rfind("--retries=", 0) == 0) {
+      retries = std::stoull(s.substr(10));
+    } else if (s == "--checkpoint") {
+      checkpoint = true;
+    } else if (s.rfind("--checkpoint=", 0) == 0) {
+      checkpoint = true;
+      checkpoint_path = s.substr(13);
+    } else if (s == "--resume") {
+      checkpoint = true;
+      resume = true;
+    }
     else if (parse_obs_flag(s, obs_flags)) continue;
     else if (s[0] != '-') n = std::stoull(s);
     else {
       std::fprintf(stderr, "unknown flag %s\n", s.c_str());
       return 2;
     }
+  }
+  if (parallel == 0 && (any_fault || checkpoint)) {
+    std::fprintf(stderr, "--fault-*/--checkpoint/--resume require "
+                         "--parallel=P (fault tolerance is a parallel-"
+                         "simulation feature)\n");
+    return 2;
   }
   enable_obs(obs_flags);
   const auto tr = acquire(argv[2], n);
@@ -204,12 +257,31 @@ int cmd_simulate(int argc, char** argv) {
                 tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
                 out.mips(), out.avg_context_occupancy);
   } else {
-    const auto out = sim.simulate_parallel(tr, parallel, gpus, recovery, recovery);
+    core::ParallelSimOptions po =
+        sim.parallel_options(parallel, gpus, recovery, recovery);
+    const device::FaultInjector injector(fault);
+    if (any_fault) po.faults = &injector;
+    po.max_retries_per_partition = retries;
+    if (checkpoint) {
+      po.checkpoint_path = checkpoint_path.empty()
+                               ? artifact_path("mlsim_cli_simulate.ckpt")
+                               : std::filesystem::path(checkpoint_path);
+      po.resume = resume;
+    }
+    const auto out = sim.simulate_parallel(tr, po);
     std::printf("parallel (%zu sub-traces, %zu GPUs, recovery %s): CPI %.4f | "
                 "err vs truth %+.2f%% | %.2f MIPS (modeled) | corrected %zu\n",
                 parallel, gpus, recovery ? "on" : "off", out.cpi(),
                 tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
                 out.mips(), out.corrected_instructions);
+    if (any_fault || out.resumed) {
+      std::printf("fault recovery: %zu failed partitions | %zu retries | "
+                  "%zu degraded | %zu lost devices | backoff %.0f us%s\n",
+                  out.failed_partitions.size(), out.retries,
+                  out.degraded_partitions.size(), out.lost_devices,
+                  out.retry_backoff_us,
+                  out.resumed ? " | resumed from checkpoint" : "");
+    }
   }
   finish_obs(obs_flags);
   return 0;
@@ -217,10 +289,26 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_suite(int argc, char** argv) {
   ObsFlags obs_flags;
+  bool checkpoint = false, resume = false;
+  std::string checkpoint_path;
   std::vector<std::string> pos;
   for (int i = 2; i < argc; ++i) {
     const std::string s = argv[i];
     if (parse_obs_flag(s, obs_flags)) continue;
+    if (s == "--checkpoint") {
+      checkpoint = true;
+      continue;
+    }
+    if (s.rfind("--checkpoint=", 0) == 0) {
+      checkpoint = true;
+      checkpoint_path = s.substr(13);
+      continue;
+    }
+    if (s == "--resume") {
+      checkpoint = true;
+      resume = true;
+      continue;
+    }
     if (!s.empty() && s[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", s.c_str());
       return 2;
@@ -246,7 +334,12 @@ int cmd_suite(int argc, char** argv) {
   core::AnalyticPredictor pred;
   core::GpuSimOptions opts;
   opts.context_length = 64;
-  const auto report = core::run_suite(pred, jobs, gpus, opts);
+  const std::filesystem::path ckpt =
+      checkpoint ? (checkpoint_path.empty()
+                        ? artifact_path("mlsim_cli_suite.ckpt")
+                        : std::filesystem::path(checkpoint_path))
+                 : std::filesystem::path();
+  const auto report = core::run_suite(pred, jobs, gpus, opts, ckpt, resume);
 
   Table t({"benchmark", "device", "CPI", "device time (ms)"});
   for (const auto& j : report.jobs) {
@@ -327,12 +420,29 @@ int main(int argc, char** argv) {
                  "usage: mlsim_cli <trace|simulate|suite|rates|stream> ...\n");
     return 2;
   }
-  const std::string cmd = argv[1];
-  if (cmd == "trace") return cmd_trace(argc, argv);
-  if (cmd == "simulate") return cmd_simulate(argc, argv);
-  if (cmd == "suite") return cmd_suite(argc, argv);
-  if (cmd == "rates") return cmd_rates(argc, argv);
-  if (cmd == "stream") return cmd_stream(argc, argv);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  // Distinct exit codes per failure class so scripts and the test harness
+  // can tell bad invocations (2) from broken files (3), corrupt data (4),
+  // and genuine bugs (5). See the header comment.
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "trace") return cmd_trace(argc, argv);
+    if (cmd == "simulate") return cmd_simulate(argc, argv);
+    if (cmd == "suite") return cmd_suite(argc, argv);
+    if (cmd == "rates") return cmd_rates(argc, argv);
+    if (cmd == "stream") return cmd_stream(argc, argv);
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "mlsim_cli: I/O error: %s\n", e.what());
+    return 3;
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::fprintf(stderr, "mlsim_cli: I/O error: %s\n", e.what());
+    return 3;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "mlsim_cli: %s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mlsim_cli: internal error: %s\n", e.what());
+    return 5;
+  }
 }

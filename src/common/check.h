@@ -16,6 +16,14 @@ class CheckError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown for file-system level failures (cannot open, short write, rename
+/// failed). Distinct from CheckError, which signals corrupt *content* or a
+/// violated invariant — drivers map the two to different exit codes.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Verify `cond`; throw CheckError annotated with the call site otherwise.
 inline void check(bool cond, std::string_view msg,
                   std::source_location loc = std::source_location::current()) {

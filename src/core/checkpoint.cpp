@@ -1,0 +1,230 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/artifacts.h"
+#include "common/check.h"
+
+namespace mlsim::core {
+
+namespace {
+
+constexpr std::uint32_t kParallelMagic = 0x4d4c434b;  // "MLCK"
+constexpr std::uint32_t kSuiteMagic = 0x4d4c4353;     // "MLCS"
+constexpr std::uint32_t kCkptVersion = 1;
+
+// Append-only little-endian serializer; the final file is
+//   magic | version | payload_checksum | payload_size | payload
+// so any torn write is caught by the length/checksum pair before a single
+// payload field is trusted.
+class Writer {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const char*>(&v);
+    buf_.append(p, sizeof(T));
+  }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    pod(static_cast<std::uint64_t>(v.size()));
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  }
+  void str(const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    buf_.append(s);
+  }
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size, std::string context)
+      : p_(data), end_(data + size), context_(std::move(context)) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    const auto count = pod<std::uint64_t>();
+    need(count * sizeof(T));
+    std::vector<T> v(count);
+    std::memcpy(v.data(), p_, count * sizeof(T));
+    p_ += count * sizeof(T);
+    return v;
+  }
+  std::string str() {
+    const auto len = pod<std::uint64_t>();
+    need(len);
+    std::string s(p_, len);
+    p_ += len;
+    return s;
+  }
+  void finish() const {
+    check(p_ == end_, "checkpoint has trailing bytes: " + context_);
+  }
+
+ private:
+  void need(std::uint64_t bytes) const {
+    check(static_cast<std::uint64_t>(end_ - p_) >= bytes,
+          "checkpoint truncated: " + context_);
+  }
+  const char* p_;
+  const char* end_;
+  std::string context_;
+};
+
+void write_envelope(const std::filesystem::path& path, std::uint32_t magic,
+                    const std::string& payload) {
+  Writer head;
+  head.pod(magic);
+  head.pod(kCkptVersion);
+  head.pod(fnv1a64(payload.data(), payload.size()));
+  head.pod(static_cast<std::uint64_t>(payload.size()));
+  write_file_atomic(path, head.bytes() + payload);
+}
+
+/// Returns the verified payload, or false via the out-param path when the
+/// file does not exist.
+bool read_envelope(const std::filesystem::path& path, std::uint32_t magic,
+                   std::string& payload) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return false;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("cannot stat checkpoint: " + path.string());
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) throw IoError("cannot open checkpoint: " + path.string());
+  std::string all(size, '\0');
+  is.read(all.data(), static_cast<std::streamsize>(size));
+  check(static_cast<bool>(is), "read failed on checkpoint: " + path.string());
+  Reader head(all.data(), all.size(), path.string());
+  constexpr std::size_t kEnvelopeBytes = 4 + 4 + 8 + 8;
+  check(all.size() >= kEnvelopeBytes,
+        "checkpoint too small for its envelope: " + path.string());
+  check(head.pod<std::uint32_t>() == magic,
+        "bad checkpoint magic (wrong file or corrupted): " + path.string());
+  check(head.pod<std::uint32_t>() == kCkptVersion,
+        "unsupported checkpoint version: " + path.string());
+  const auto sum = head.pod<std::uint64_t>();
+  const auto payload_size = head.pod<std::uint64_t>();
+  check(payload_size == all.size() - kEnvelopeBytes,
+        "checkpoint payload length mismatch (torn write?): " + path.string());
+  payload = all.substr(kEnvelopeBytes);
+  check(fnv1a64(payload.data(), payload.size()) == sum,
+        "checkpoint checksum mismatch (corrupted): " + path.string());
+  return true;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::filesystem::path& path,
+                     const ParallelCheckpoint& ck) {
+  Writer w;
+  w.pod(ck.fingerprint);
+  w.pod(ck.next_partition);
+  w.pod(ck.num_partitions);
+  w.pod(ck.ring_capacity);
+  w.pod(ck.warmup_instructions);
+  w.pod(ck.corrected_instructions);
+  w.pod(ck.retries);
+  w.pod(ck.backoff_us);
+  w.pod(ck.occupancy);
+  w.pod(ck.prev_clock);
+  w.pod(ck.prev_oldest);
+  w.vec(ck.prev_ring);
+  w.vec(ck.partition_cycles);
+  w.vec(ck.partition_steps);
+  w.vec(ck.partition_wasted);
+  w.vec(ck.final_attempt);
+  w.vec(ck.failed_partitions);
+  w.vec(ck.degraded_partitions);
+  w.vec(ck.gpu_lost);
+  w.vec(ck.predictions);
+  w.vec(ck.context_counts);
+  write_envelope(path, kParallelMagic, w.bytes());
+}
+
+bool load_checkpoint(const std::filesystem::path& path, ParallelCheckpoint& ck) {
+  std::string payload;
+  if (!read_envelope(path, kParallelMagic, payload)) return false;
+  Reader r(payload.data(), payload.size(), path.string());
+  ck.fingerprint = r.pod<std::uint64_t>();
+  ck.next_partition = r.pod<std::uint64_t>();
+  ck.num_partitions = r.pod<std::uint64_t>();
+  ck.ring_capacity = r.pod<std::uint64_t>();
+  ck.warmup_instructions = r.pod<std::uint64_t>();
+  ck.corrected_instructions = r.pod<std::uint64_t>();
+  ck.retries = r.pod<std::uint64_t>();
+  ck.backoff_us = r.pod<double>();
+  ck.occupancy = r.pod<RunningStats::State>();
+  ck.prev_clock = r.pod<std::uint64_t>();
+  ck.prev_oldest = r.pod<std::uint64_t>();
+  ck.prev_ring = r.vec<std::uint64_t>();
+  ck.partition_cycles = r.vec<std::uint64_t>();
+  ck.partition_steps = r.vec<std::uint64_t>();
+  ck.partition_wasted = r.vec<std::uint64_t>();
+  ck.final_attempt = r.vec<std::uint32_t>();
+  ck.failed_partitions = r.vec<std::uint64_t>();
+  ck.degraded_partitions = r.vec<std::uint64_t>();
+  ck.gpu_lost = r.vec<std::uint8_t>();
+  ck.predictions = r.vec<std::uint32_t>();
+  ck.context_counts = r.vec<std::uint16_t>();
+  r.finish();
+  const std::uint64_t p = ck.num_partitions;
+  check(ck.next_partition <= p && ck.partition_cycles.size() == p &&
+            ck.partition_steps.size() == p && ck.partition_wasted.size() == p &&
+            ck.final_attempt.size() == p &&
+            (ck.prev_ring.empty() || ck.prev_ring.size() == ck.ring_capacity),
+        "checkpoint internally inconsistent: " + path.string());
+  return true;
+}
+
+void save_checkpoint(const std::filesystem::path& path,
+                     const SuiteCheckpoint& ck) {
+  Writer w;
+  w.pod(ck.fingerprint);
+  w.pod(static_cast<std::uint64_t>(ck.completed.size()));
+  for (const auto& j : ck.completed) {
+    w.str(j.name);
+    w.pod(j.device);
+    w.pod(j.cpi);
+    w.pod(j.sim_time_us);
+    w.pod(j.instructions);
+  }
+  write_envelope(path, kSuiteMagic, w.bytes());
+}
+
+bool load_checkpoint(const std::filesystem::path& path, SuiteCheckpoint& ck) {
+  std::string payload;
+  if (!read_envelope(path, kSuiteMagic, payload)) return false;
+  Reader r(payload.data(), payload.size(), path.string());
+  ck.fingerprint = r.pod<std::uint64_t>();
+  const auto count = r.pod<std::uint64_t>();
+  ck.completed.clear();
+  ck.completed.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SuiteCheckpointJob j;
+    j.name = r.str();
+    j.device = r.pod<std::uint64_t>();
+    j.cpi = r.pod<double>();
+    j.sim_time_us = r.pod<double>();
+    j.instructions = r.pod<std::uint64_t>();
+    ck.completed.push_back(std::move(j));
+  }
+  r.finish();
+  return true;
+}
+
+}  // namespace mlsim::core

@@ -1,0 +1,89 @@
+// Checkpoint/restart for long simulations (docs/RESILIENCE.md).
+//
+// Two checkpoint shapes, both written atomically (temp + rename) with an
+// FNV-1a payload checksum so a file torn by process death is detected and
+// rejected on load rather than silently resumed from:
+//
+//   ParallelCheckpoint — per-partition progress of a ParallelSimulator run:
+//       completed-partition index, accumulated per-partition Clocks/steps,
+//       the end-of-partition context ring (the state post-error correction
+//       resumes from), the occupancy accumulator, and the fault-recovery
+//       bookkeeping. Resuming replays the remaining partitions and is
+//       bit-identical to an uninterrupted run.
+//   SuiteCheckpoint — per-job results of a run_suite() sweep so a killed
+//       suite run re-simulates only the jobs it had not finished.
+//
+// A fingerprint (trace + options hash, computed by the owning engine) guards
+// against resuming a checkpoint into a different run configuration.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mlsim::core {
+
+struct ParallelCheckpoint {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t next_partition = 0;  // first partition NOT yet completed
+  std::uint64_t num_partitions = 0;
+  std::uint64_t ring_capacity = 0;
+
+  // Result accumulators.
+  std::uint64_t warmup_instructions = 0;
+  std::uint64_t corrected_instructions = 0;
+  std::uint64_t retries = 0;
+  double backoff_us = 0.0;
+  RunningStats::State occupancy;
+
+  // End-of-previous-partition snapshot driving post-error correction.
+  std::uint64_t prev_clock = 0;
+  std::uint64_t prev_oldest = 0;
+  std::vector<std::uint64_t> prev_ring;  // empty = no snapshot yet
+
+  // Per-partition accounting (full length; entries >= next_partition are 0).
+  std::vector<std::uint64_t> partition_cycles;
+  std::vector<std::uint64_t> partition_steps;
+  std::vector<std::uint64_t> partition_wasted;
+  std::vector<std::uint32_t> final_attempt;
+
+  // Fault-recovery bookkeeping.
+  std::vector<std::uint64_t> failed_partitions;
+  std::vector<std::uint64_t> degraded_partitions;
+  std::vector<std::uint8_t> gpu_lost;  // one flag per modeled GPU
+
+  // Recorded outputs for the completed prefix (present only when the run
+  // records them; 3 values per instruction for predictions).
+  std::vector<std::uint32_t> predictions;
+  std::vector<std::uint16_t> context_counts;
+};
+
+/// Serialize atomically to `path`. Throws IoError on filesystem failure.
+void save_checkpoint(const std::filesystem::path& path,
+                     const ParallelCheckpoint& ck);
+
+/// Load `path` into `ck`. Returns false if the file does not exist; throws
+/// CheckError if it exists but is truncated, corrupt, or checksum-mismatched.
+bool load_checkpoint(const std::filesystem::path& path, ParallelCheckpoint& ck);
+
+struct SuiteCheckpointJob {
+  std::string name;
+  std::uint64_t device = 0;
+  double cpi = 0.0;
+  double sim_time_us = 0.0;
+  std::uint64_t instructions = 0;
+};
+
+struct SuiteCheckpoint {
+  std::uint64_t fingerprint = 0;
+  std::vector<SuiteCheckpointJob> completed;
+};
+
+void save_checkpoint(const std::filesystem::path& path,
+                     const SuiteCheckpoint& ck);
+bool load_checkpoint(const std::filesystem::path& path, SuiteCheckpoint& ck);
+
+}  // namespace mlsim::core

@@ -16,14 +16,23 @@
 //                       initial simulation's count, or at a fixed limit.
 //                       The first partition of each GPU is never corrected
 //                       (keeps inter-GPU communication at zero).
+//
+// Fault tolerance (docs/RESILIENCE.md): with a FaultInjector attached, the
+// engine tolerates device kills (failed partitions are requeued with
+// re-warmup under a retry budget with exponential backoff in modeled time),
+// stragglers (modeled slowdown), and corrupted inference outputs (per-batch
+// anomaly guard with graceful degradation to a fallback predictor). With
+// periodic checkpointing enabled, a killed run resumes bit-identically.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <vector>
 
 #include "core/cost_model.h"
 #include "core/predictor.h"
 #include "core/sim_output.h"
+#include "device/fault.h"
 #include "trace/trace.h"
 
 namespace mlsim::core {
@@ -44,6 +53,35 @@ struct ParallelSimOptions {
   bool record_predictions = false;     // keep per-instruction predictions
   bool record_context_counts = false;  // keep all context counts
   CostModel costs;
+
+  // ---- Fault tolerance (docs/RESILIENCE.md) --------------------------------
+  /// Fault injector; nullptr or an inert injector means fault-free, and the
+  /// engine is then bit-identical to a build without this layer.
+  const device::FaultInjector* faults = nullptr;
+  /// Predictor substituted for a partition whose inference outputs trip the
+  /// anomaly guard (graceful degradation). Required for corruption recovery.
+  LatencyPredictor* fallback = nullptr;
+  /// Per-latency upper bound accepted from the predictor; any latency above
+  /// it is an anomaly (NaN/garbage after int conversion). 0 disables the
+  /// guard. The default is orders of magnitude above any genuine latency,
+  /// so fault-free predictions are untouched.
+  std::uint32_t anomaly_latency_limit = 1u << 20;
+  /// Re-runs a single partition may consume (kills + anomaly degradations)
+  /// before the run fails with CheckError.
+  std::size_t max_retries_per_partition = 3;
+  /// Modeled backoff before the first retry of a partition; doubles on each
+  /// subsequent retry (exponential backoff in modeled time).
+  double retry_backoff_us = 50.0;
+
+  // ---- Checkpoint/restart --------------------------------------------------
+  /// When non-empty, per-partition progress is periodically serialized here
+  /// (atomic rename + checksum); removed once the run completes.
+  std::filesystem::path checkpoint_path;
+  /// Resume from checkpoint_path if a valid checkpoint exists (fresh run
+  /// otherwise). The checkpoint fingerprint must match this trace + options.
+  bool resume = false;
+  /// Completed partitions between checkpoint writes.
+  std::size_t checkpoint_interval = 1;
 };
 
 struct ParallelSimResult {
@@ -67,6 +105,16 @@ struct ParallelSimResult {
   std::vector<std::uint16_t> context_counts;
   /// Partition boundaries (begin index of each partition, plus end sentinel).
   std::vector<std::size_t> boundaries;
+
+  // ---- Fault-recovery outcome (empty/zero on a fault-free run) -------------
+  /// Partitions whose device slot was killed at least once (requeued).
+  std::vector<std::size_t> failed_partitions;
+  /// Partitions that finished on the fallback predictor (degraded mode).
+  std::vector<std::size_t> degraded_partitions;
+  std::size_t retries = 0;       // total partition re-runs
+  std::size_t lost_devices = 0;  // device slots lost to kills
+  double retry_backoff_us = 0.0; // modeled backoff folded into sim_time_us
+  bool resumed = false;          // run continued from a checkpoint
 };
 
 class ParallelSimulator {
@@ -88,13 +136,22 @@ class ParallelSimulator {
 /// spread left). Returned vector has P+1 entries, [0] = 0, [P] = n.
 std::vector<std::size_t> partition_boundaries(std::size_t n, std::size_t parts);
 
+/// Extra modeled-time terms contributed by fault recovery.
+struct ParallelTimePenalties {
+  std::size_t lost_devices = 0;  // device slots killed mid-run
+  double backoff_us = 0.0;       // accumulated retry backoff
+};
+
 /// Simulated-time model shared by the parallel engines: per-GPU lockstep
 /// batched stepping plus the final Clock gather. `partition_steps[p]` is
 /// the number of inference steps partition p consumed (body + warmup +
-/// corrections it performed).
+/// corrections it performed, plus any steps burnt by failed attempts).
+/// Lost devices shrink the surviving pool (requeued partitions pack onto
+/// fewer GPUs) and backoff adds directly to the critical path.
 double model_parallel_time_us(const ParallelSimOptions& opts,
                               const std::vector<std::size_t>& partition_steps,
                               std::size_t flops_per_window,
-                              double avg_context_occupancy);
+                              double avg_context_occupancy,
+                              const ParallelTimePenalties& penalties = {});
 
 }  // namespace mlsim::core

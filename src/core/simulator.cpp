@@ -52,7 +52,12 @@ trace::EncodedTrace labeled_trace(const std::string& abbr, std::size_t n,
   }
   const auto& profile = trace::find_workload(abbr);
   trace::EncodedTrace tr = uarch::make_encoded_trace(profile, n, machine, seed);
-  if (use_cache) tr.save(artifact_path(name.str()));
+  if (use_cache) {
+    // Atomic publish + checksum sidecar: a concurrent or killed writer can
+    // never leave a half-written trace that a later run would load.
+    artifact_commit(name.str(),
+                    [&tr](const std::filesystem::path& p) { tr.save(p); });
+  }
   return tr;
 }
 
@@ -93,10 +98,10 @@ SimOutput MLSimulator::simulate_sequential(const trace::EncodedTrace& trace) {
   return sim.run(trace);
 }
 
-ParallelSimResult MLSimulator::simulate_parallel(const trace::EncodedTrace& trace,
-                                                 std::size_t num_subtraces,
-                                                 std::size_t num_gpus, bool warmup,
-                                                 bool correction) {
+ParallelSimOptions MLSimulator::parallel_options(std::size_t num_subtraces,
+                                                 std::size_t num_gpus,
+                                                 bool warmup,
+                                                 bool correction) const {
   ParallelSimOptions o;
   o.num_subtraces = num_subtraces;
   o.num_gpus = num_gpus;
@@ -107,6 +112,22 @@ ParallelSimResult MLSimulator::simulate_parallel(const trace::EncodedTrace& trac
   o.engine = opts_.engine;
   o.costs.gpu = opts_.gpu;
   o.assumed_flops_per_window = default_flops();
+  return o;
+}
+
+ParallelSimResult MLSimulator::simulate_parallel(const trace::EncodedTrace& trace,
+                                                 std::size_t num_subtraces,
+                                                 std::size_t num_gpus, bool warmup,
+                                                 bool correction) {
+  return simulate_parallel(trace,
+                           parallel_options(num_subtraces, num_gpus, warmup,
+                                            correction));
+}
+
+ParallelSimResult MLSimulator::simulate_parallel(const trace::EncodedTrace& trace,
+                                                 const ParallelSimOptions& opts) {
+  ParallelSimOptions o = opts;
+  if (o.fallback == nullptr) o.fallback = &analytic_;
   ParallelSimulator sim(predictor(), o);
   return sim.run(trace);
 }

@@ -66,6 +66,19 @@ class MLSimulator {
                                       std::size_t num_gpus = 1,
                                       bool warmup = true, bool correction = true);
 
+  /// The ParallelSimOptions `simulate_parallel` would use — the starting
+  /// point for runs with fault injection or checkpointing layered on.
+  ParallelSimOptions parallel_options(std::size_t num_subtraces,
+                                      std::size_t num_gpus = 1,
+                                      bool warmup = true,
+                                      bool correction = true) const;
+
+  /// Parallel simulation with explicit options. A null `opts.fallback` is
+  /// wired to the built-in analytic predictor so anomaly degradation always
+  /// has somewhere to land.
+  ParallelSimResult simulate_parallel(const trace::EncodedTrace& trace,
+                                      const ParallelSimOptions& opts);
+
   /// CPI error (percent, signed) of a simulation against ground truth.
   double cpi_error_percent(const trace::EncodedTrace& labeled,
                            double simulated_cpi) const;

@@ -4,9 +4,31 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "core/checkpoint.h"
 #include "device/device.h"
 
 namespace mlsim::core {
+
+namespace {
+std::uint64_t suite_fingerprint(const std::vector<SuiteJob>& jobs,
+                                std::size_t num_devices,
+                                const GpuSimOptions& options) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(jobs.size());
+  for (const auto& j : jobs) {
+    for (const char c : j.name) mix(static_cast<unsigned char>(c));
+    mix(j.trace->size());
+  }
+  mix(num_devices);
+  mix(options.context_length);
+  mix(options.batch_n);
+  return h;
+}
+}  // namespace
 
 std::size_t SuiteReport::total_instructions() const {
   std::size_t n = 0;
@@ -48,7 +70,8 @@ std::vector<std::size_t> lpt_assignment(const std::vector<double>& estimated_cos
 
 SuiteReport run_suite(LatencyPredictor& predictor,
                       const std::vector<SuiteJob>& jobs, std::size_t num_devices,
-                      const GpuSimOptions& options) {
+                      const GpuSimOptions& options,
+                      const std::filesystem::path& checkpoint, bool resume) {
   check(!jobs.empty(), "suite needs at least one job");
   for (const auto& j : jobs) check(j.trace != nullptr, "job without a trace");
 
@@ -56,6 +79,26 @@ SuiteReport run_suite(LatencyPredictor& predictor,
   costs.reserve(jobs.size());
   for (const auto& j : jobs) costs.push_back(static_cast<double>(j.trace->size()));
   const auto assignment = lpt_assignment(costs, num_devices);
+
+  const bool checkpointing = !checkpoint.empty();
+  const std::uint64_t fp = suite_fingerprint(jobs, num_devices, options);
+  SuiteCheckpoint ck;
+  ck.fingerprint = fp;
+  // Jobs run in index order, so a checkpoint holds a prefix of the job list.
+  std::size_t done = 0;
+  if (checkpointing && resume) {
+    SuiteCheckpoint prev;
+    if (load_checkpoint(checkpoint, prev)) {
+      check(prev.fingerprint == fp,
+            "suite checkpoint was written for a different job set: " +
+                checkpoint.string());
+      check(prev.completed.size() <= jobs.size(),
+            "suite checkpoint has more jobs than this suite: " +
+                checkpoint.string());
+      ck.completed = std::move(prev.completed);
+      done = ck.completed.size();
+    }
+  }
 
   SuiteReport report;
   report.devices = num_devices;
@@ -67,14 +110,33 @@ SuiteReport run_suite(LatencyPredictor& predictor,
                                       device::Device(options.costs.gpu));
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const std::size_t d = assignment[j];
+    if (j < done) {
+      const SuiteCheckpointJob& c = ck.completed[j];
+      check(c.name == jobs[j].name && c.device == d,
+            "suite checkpoint job " + std::to_string(j) +
+                " does not match this suite: " + checkpoint.string());
+      report.jobs.push_back({c.name, d, c.cpi, c.sim_time_us,
+                             static_cast<std::size_t>(c.instructions)});
+      report.device_busy_us_[d] += c.sim_time_us;
+      continue;
+    }
     GpuSimulator sim(predictor, devices[d], options);
     const SimOutput out = sim.run(*jobs[j].trace);
     report.jobs.push_back({jobs[j].name, d, out.cpi(), out.sim_time_us,
                            out.instructions});
     report.device_busy_us_[d] += out.sim_time_us;
+    if (checkpointing) {
+      ck.completed.push_back({jobs[j].name, d, out.cpi(), out.sim_time_us,
+                              static_cast<std::uint64_t>(out.instructions)});
+      save_checkpoint(checkpoint, ck);
+    }
   }
   for (double busy : report.device_busy_us_) {
     report.makespan_us = std::max(report.makespan_us, busy);
+  }
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::remove(checkpoint, ec);
   }
   return report;
 }

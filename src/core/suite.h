@@ -8,8 +8,12 @@
 // device — which is a 4/3-approximation of optimal makespan. Each job then
 // runs the fully-optimised single-device simulator on its device, and the
 // suite report gives per-job results plus makespan/utilisation.
+// With a checkpoint path, the suite records each finished job (atomic write +
+// checksum, see docs/RESILIENCE.md); a resumed run re-simulates only the jobs
+// the killed run had not completed.
 #pragma once
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -44,14 +48,20 @@ struct SuiteReport {
 
  private:
   friend SuiteReport run_suite(LatencyPredictor&, const std::vector<SuiteJob>&,
-                               std::size_t, const GpuSimOptions&);
+                               std::size_t, const GpuSimOptions&,
+                               const std::filesystem::path&, bool);
   std::vector<double> device_busy_us_;
 };
 
 /// Simulate all jobs across `num_devices` modeled GPUs (LPT assignment).
+/// A non-empty `checkpoint` records finished jobs after each one (removed on
+/// completion); with `resume`, previously-finished jobs are taken from the
+/// checkpoint instead of re-simulated.
 SuiteReport run_suite(LatencyPredictor& predictor,
                       const std::vector<SuiteJob>& jobs, std::size_t num_devices,
-                      const GpuSimOptions& options = {});
+                      const GpuSimOptions& options = {},
+                      const std::filesystem::path& checkpoint = {},
+                      bool resume = false);
 
 /// LPT assignment by estimated cost (exposed for testing): returns the
 /// device index per job, in job order.

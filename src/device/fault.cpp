@@ -1,0 +1,80 @@
+#include "device/fault.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mlsim::device {
+
+FaultInjector::FaultInjector(FaultOptions opts) : opts_(opts) {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  check(rate_ok(opts_.device_kill_rate), "device_kill_rate must be in [0, 1]");
+  check(rate_ok(opts_.straggler_rate), "straggler_rate must be in [0, 1]");
+  check(rate_ok(opts_.output_corrupt_rate),
+        "output_corrupt_rate must be in [0, 1]");
+  check(opts_.straggler_slowdown >= 1.0, "straggler_slowdown must be >= 1");
+}
+
+bool FaultInjector::enabled() const {
+  return opts_.device_kill_rate > 0.0 || opts_.straggler_rate > 0.0 ||
+         opts_.output_corrupt_rate > 0.0 ||
+         opts_.die_after_partition != static_cast<std::size_t>(-1);
+}
+
+std::uint64_t FaultInjector::draw(Stream stream, std::size_t partition,
+                                  std::size_t attempt,
+                                  std::uint64_t index) const {
+  // FNV-style mix of the decision coordinates, then SplitMix64 to whiten.
+  std::uint64_t h = opts_.seed ^ 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(stream));
+  mix(partition);
+  mix(attempt);
+  mix(index);
+  return SplitMix64(h).next();
+}
+
+double FaultInjector::uniform(Stream stream, std::size_t partition,
+                              std::size_t attempt, std::uint64_t index) const {
+  return static_cast<double>(draw(stream, partition, attempt, index) >> 11) *
+         0x1.0p-53;
+}
+
+std::optional<double> FaultInjector::kill_point(std::size_t partition,
+                                                std::size_t attempt) const {
+  if (opts_.device_kill_rate <= 0.0) return std::nullopt;
+  if (uniform(kKill, partition, attempt, 0) >= opts_.device_kill_rate) {
+    return std::nullopt;
+  }
+  // Die strictly inside the body so a kill always discards real work.
+  return 0.05 + 0.9 * uniform(kKillPoint, partition, attempt, 0);
+}
+
+double FaultInjector::straggler_factor(std::size_t partition,
+                                       std::size_t attempt) const {
+  if (opts_.straggler_rate <= 0.0) return 1.0;
+  return uniform(kStraggle, partition, attempt, 0) < opts_.straggler_rate
+             ? opts_.straggler_slowdown
+             : 1.0;
+}
+
+bool FaultInjector::corrupts(std::size_t partition, std::size_t attempt,
+                             std::uint64_t index) const {
+  if (opts_.output_corrupt_rate <= 0.0) return false;
+  return uniform(kCorrupt, partition, attempt, index) <
+         opts_.output_corrupt_rate;
+}
+
+CorruptLatencies FaultInjector::corrupt_latencies(std::size_t partition,
+                                                  std::size_t attempt,
+                                                  std::uint64_t index) const {
+  const std::uint64_t v = draw(kCorruptValue, partition, attempt, index);
+  // Three garbage lanes in [2^24, 2^31): far above any genuine latency.
+  auto lane = [v](unsigned shift) {
+    return static_cast<std::uint32_t>((v >> shift) & 0x7fffffffu) | (1u << 24);
+  };
+  return {lane(0), lane(21), lane(42)};
+}
+
+}  // namespace mlsim::device

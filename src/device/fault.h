@@ -1,0 +1,114 @@
+// Deterministic fault injection for the parallel simulation engines.
+//
+// At real cluster scale (the Summit-style deployments of §V) device loss,
+// stragglers, and corrupted inference outputs are routine, so the parallel
+// engine must tolerate them without distorting the final Clock gather. The
+// injector models three fault classes at partition-attempt granularity:
+//
+//   device kill   — the device slot running a partition attempt dies at a
+//                   point inside the body; all work is discarded and the
+//                   partition is requeued (with re-warmup) on a survivor;
+//   straggler     — the attempt lands on a slow device: results are correct
+//                   but the modeled per-step time is multiplied;
+//   output corruption — a fraction of inference outputs come back as
+//                   NaN/garbage latencies (modeled as huge integer values,
+//                   what a NaN becomes after the int conversion).
+//
+// Every decision is a pure hash of (seed, partition, attempt[, index]) —
+// never of execution order — so a fault schedule replays bit-identically
+// across retries, thread counts, and checkpoint resume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+namespace mlsim::device {
+
+/// Thrown by the engine when the injector simulates whole-process death
+/// (`die_after_partition`); distinct from CheckError so tests and drivers
+/// can tell "the run was killed" from "the run found a bug".
+class InjectedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultOptions {
+  std::uint64_t seed = 0;
+  /// Probability a partition attempt's device slot dies mid-body.
+  double device_kill_rate = 0.0;
+  /// Probability a partition attempt runs on a straggling device.
+  double straggler_rate = 0.0;
+  /// Modeled per-step slowdown of a straggling attempt.
+  double straggler_slowdown = 4.0;
+  /// Per-instruction probability of a corrupted inference output.
+  double output_corrupt_rate = 0.0;
+  /// Simulate process death (InjectedCrash) once this many partitions have
+  /// completed — after their checkpoint write, so a --resume run can pick
+  /// up. SIZE_MAX = never. Excluded from the checkpoint fingerprint: the
+  /// resumed run legitimately differs from its killed predecessor here.
+  std::size_t die_after_partition = static_cast<std::size_t>(-1);
+};
+
+/// Garbage latencies substituted for a corrupted inference output. Values
+/// are drawn from [2^24, 2^31) so they always trip the default anomaly
+/// guard — a NaN cast to int is garbage, not a plausible latency.
+struct CorruptLatencies {
+  std::uint32_t fetch = 0;
+  std::uint32_t exec = 0;
+  std::uint32_t store = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // all rates zero: inert
+  explicit FaultInjector(FaultOptions opts);
+
+  const FaultOptions& options() const { return opts_; }
+
+  /// True if any fault class can fire (a process-death trigger counts).
+  bool enabled() const;
+
+  /// Fraction of the attempt's body completed before the device dies, in
+  /// (0, 1); nullopt if this attempt survives.
+  std::optional<double> kill_point(std::size_t partition,
+                                   std::size_t attempt) const;
+
+  /// Modeled slowdown factor for this attempt (1.0 = healthy device).
+  double straggler_factor(std::size_t partition, std::size_t attempt) const;
+
+  /// Whether instruction `index`'s inference output is corrupted on this
+  /// attempt.
+  bool corrupts(std::size_t partition, std::size_t attempt,
+                std::uint64_t index) const;
+
+  /// The garbage substituted when corrupts() fires.
+  CorruptLatencies corrupt_latencies(std::size_t partition, std::size_t attempt,
+                                     std::uint64_t index) const;
+
+  /// True when `completed_partitions` hits the process-death trigger
+  /// exactly — a resumed run restarts past the trigger and is not killed
+  /// again even with identical options.
+  bool dies_after(std::size_t completed_partitions) const {
+    return completed_partitions == opts_.die_after_partition;
+  }
+
+ private:
+  // Independent decision streams so e.g. the kill draw never perturbs the
+  // straggler draw for the same attempt.
+  enum Stream : std::uint64_t {
+    kKill = 1,
+    kKillPoint = 2,
+    kStraggle = 3,
+    kCorrupt = 4,
+    kCorruptValue = 5,
+  };
+  std::uint64_t draw(Stream stream, std::size_t partition, std::size_t attempt,
+                     std::uint64_t index) const;
+  double uniform(Stream stream, std::size_t partition, std::size_t attempt,
+                 std::uint64_t index) const;
+
+  FaultOptions opts_;
+};
+
+}  // namespace mlsim::device

@@ -33,6 +33,18 @@ inline constexpr const char* kParSimInstructions = "parallel_sim.instructions";
 inline constexpr const char* kParSimBatchOccupancy =
     "parallel_sim.gpu_batch_occupancy";
 inline constexpr const char* kParSimPartitionNs = "parallel_sim.partition_ns";
+// Fault tolerance (docs/RESILIENCE.md).
+inline constexpr const char* kParSimDeviceKills = "parallel_sim.device_kills";
+inline constexpr const char* kParSimRetries = "parallel_sim.partition_retries";
+inline constexpr const char* kParSimAnomalies =
+    "parallel_sim.anomalous_predictions";
+inline constexpr const char* kParSimDegradedPartitions =
+    "parallel_sim.degraded_partitions";
+inline constexpr const char* kParSimLostDevices = "parallel_sim.lost_devices";
+inline constexpr const char* kParSimCheckpointWrites =
+    "parallel_sim.checkpoint_writes";
+inline constexpr const char* kParSimAttemptsPerPartition =
+    "parallel_sim.attempts_per_partition";
 
 // -- streaming (src/core/streaming.cpp) --------------------------------------
 inline constexpr const char* kStreamChunks = "streaming.chunks";
@@ -76,6 +88,13 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kParSimInstructions, MetricKind::kCounter},
     {kParSimBatchOccupancy, MetricKind::kGauge},
     {kParSimPartitionNs, MetricKind::kHistogram},
+    {kParSimDeviceKills, MetricKind::kCounter},
+    {kParSimRetries, MetricKind::kCounter},
+    {kParSimAnomalies, MetricKind::kCounter},
+    {kParSimDegradedPartitions, MetricKind::kCounter},
+    {kParSimLostDevices, MetricKind::kGauge},
+    {kParSimCheckpointWrites, MetricKind::kCounter},
+    {kParSimAttemptsPerPartition, MetricKind::kHistogram},
     {kStreamChunks, MetricKind::kCounter},
     {kStreamInstructions, MetricKind::kCounter},
     {kStreamRowsResident, MetricKind::kGauge},

@@ -48,6 +48,8 @@ class VarintReader {
     }
   }
 
+  bool exhausted() const { return p_ == end_; }
+
  private:
   const char* p_;
   const char* end_;
@@ -147,27 +149,69 @@ void EncodedTrace::save(const std::filesystem::path& path, bool compress) const 
 }
 
 EncodedTrace EncodedTrace::load(const std::filesystem::path& path) {
+  // Fixed-size header prefix: magic, version, n, widths, labeled, name_len.
+  constexpr std::uint64_t kFixedHeaderBytes = 4 + 4 + 8 + 4 + 4 + 1 + 4;
+
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    throw IoError("cannot open trace file: " + path.string());
+  }
+  const std::uint64_t actual_size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("cannot stat trace file: " + path.string());
   std::ifstream is(path, std::ios::binary);
-  check(is.is_open(), "cannot open trace file: " + path.string());
-  check(read_pod<std::uint32_t>(is) == kMagic, "bad trace magic");
+  if (!is.is_open()) throw IoError("cannot open trace file: " + path.string());
+
+  // Every structural claim the header makes is validated against the actual
+  // file size before it is trusted, so truncated or bit-flipped files fail
+  // with a descriptive CheckError instead of a silent short read or an
+  // absurd allocation.
+  check(actual_size >= kFixedHeaderBytes,
+        "trace file too small to hold a header (" +
+            std::to_string(actual_size) + " bytes): " + path.string());
+  check(read_pod<std::uint32_t>(is) == kMagic,
+        "bad trace magic (not a trace file, or corrupted): " + path.string());
   const auto version = read_pod<std::uint32_t>(is);
   check(version == kVersion || version == kVersionCompressed,
-        "unsupported trace version");
+        "unsupported trace version " + std::to_string(version) + ": " +
+            path.string());
   const auto n = read_pod<std::uint64_t>(is);
-  check(read_pod<std::uint32_t>(is) == kNumFeatures, "feature width mismatch");
-  check(read_pod<std::uint32_t>(is) == kNumTargets, "target width mismatch");
+  check(read_pod<std::uint32_t>(is) == kNumFeatures,
+        "feature width mismatch: " + path.string());
+  check(read_pod<std::uint32_t>(is) == kNumTargets,
+        "target width mismatch: " + path.string());
   const bool labeled = read_pod<std::uint8_t>(is) != 0;
   const auto name_len = read_pod<std::uint32_t>(is);
+  check(kFixedHeaderBytes + name_len <= actual_size,
+        "trace header claims a benchmark name past end of file: " +
+            path.string());
   std::string name(name_len, '\0');
   is.read(name.data(), name_len);
+  check(static_cast<bool>(is), "trace file truncated: " + path.string());
+  const std::uint64_t header_bytes = kFixedHeaderBytes + name_len;
+
+  if (version == kVersion) {
+    // v1 body size is fully determined by n; reject before allocating.
+    const std::uint64_t row_bytes =
+        kNumFeatures * sizeof(std::int32_t) + kNumTargets * sizeof(std::uint32_t);
+    check(n <= (actual_size - header_bytes) / row_bytes,
+          "trace file truncated: header claims " + std::to_string(n) +
+              " instructions but only " +
+              std::to_string(actual_size - header_bytes) +
+              " body bytes exist: " + path.string());
+  } else {
+    // v2: the payload length field itself must fit, and each instruction
+    // contributes at least 1 row-width byte + kNumTargets target bytes.
+    check(header_bytes + sizeof(std::uint64_t) <= actual_size,
+          "trace file truncated before payload length: " + path.string());
+  }
 
   EncodedTrace out(name);
   out.n_ = n;
   out.labeled_ = labeled;
-  out.features_.resize(n * kNumFeatures);
-  out.targets_.resize(n * kNumTargets);
 
   if (version == kVersion) {
+    out.features_.resize(n * kNumFeatures);
+    out.targets_.resize(n * kNumTargets);
     is.read(reinterpret_cast<char*>(out.features_.data()),
             static_cast<std::streamsize>(out.features_.size() * sizeof(std::int32_t)));
     is.read(reinterpret_cast<char*>(out.targets_.data()),
@@ -177,13 +221,23 @@ EncodedTrace EncodedTrace::load(const std::filesystem::path& path) {
   }
 
   const auto payload_size = read_pod<std::uint64_t>(is);
+  check(payload_size <= actual_size - header_bytes - sizeof(std::uint64_t),
+        "trace payload length exceeds file size (" +
+            std::to_string(payload_size) + " vs " +
+            std::to_string(actual_size) + " total): " + path.string());
+  check(n <= payload_size / (1 + kNumTargets),
+        "trace payload too small for " + std::to_string(n) +
+            " instructions: " + path.string());
+  out.features_.resize(n * kNumFeatures);
+  out.targets_.resize(n * kNumTargets);
   std::string payload(payload_size, '\0');
   is.read(payload.data(), static_cast<std::streamsize>(payload_size));
   check(static_cast<bool>(is), "trace file truncated: " + path.string());
   VarintReader reader(payload.data(), payload.size());
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t used = reader.next();
-    check(used <= kNumFeatures, "corrupt row width in trace file");
+    check(used <= kNumFeatures, "corrupt row width in trace file at row " +
+                                    std::to_string(i) + ": " + path.string());
     std::int32_t* row = out.features_.data() + i * kNumFeatures;
     for (std::size_t c = 0; c < used; ++c) {
       row[c] = static_cast<std::int32_t>(unzigzag(reader.next()));
@@ -193,6 +247,9 @@ EncodedTrace EncodedTrace::load(const std::filesystem::path& path) {
           static_cast<std::uint32_t>(reader.next());
     }
   }
+  check(reader.exhausted(),
+        "trace payload has trailing bytes (bit-flipped row widths?): " +
+            path.string());
   return out;
 }
 
