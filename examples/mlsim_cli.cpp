@@ -33,6 +33,18 @@
 //       simulation pipelined chunk by chunk) — the mode for very long
 //       programs that cannot be materialised.
 //
+//   mlsim_cli serve <benchmark|trace.bin> [instructions] [--requests=N]
+//              [--workers=W] [--queue=Q] [--parallel=P] [--deadline-ms=D]
+//              [--fault-kill=R] [--fault-corrupt=R] [--fault-straggler=R]
+//              [--fault-seed=S] [--stall-ms=M]
+//       Soak the resilient simulation service (docs/SERVICE.md): submit N
+//       requests across all priority classes through admission control and
+//       report the typed outcome of every one, the health snapshot, and the
+//       service metrics. With --fault-* the run doubles as a chaos drill:
+//       device kills and corrupted outputs go through the parallel engine's
+//       recovery, and straggler attempts really stall workers for
+//       --stall-ms so the hang watchdog fires.
+//
 // Observability (simulate/suite/stream; see docs/OBSERVABILITY.md):
 //   --metrics[=path]     enable the metrics registry; print a per-phase
 //                        breakdown and the registry dump (text to stdout, or
@@ -43,11 +55,14 @@
 // Exit codes: 0 success, 2 bad usage, 3 I/O failure (missing/unwritable
 // files), 4 corrupt data or violated invariant (CheckError), 5 any other
 // internal error.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -61,11 +76,71 @@
 #include "core/suite.h"
 #include "device/fault.h"
 #include "obs/obs.h"
+#include "service/service.h"
 #include "trace/stream.h"
 
 using namespace mlsim;
 
 namespace {
+
+/// Bad flag or argument value — maps to exit code 2 (bad usage) in main(),
+/// distinct from I/O failures (3), corrupt data (4), and bugs (5).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict unsigned decimal parse. Unlike std::stoull, rejects (with a
+/// distinct message each) empty values, signs — strtoull silently wraps
+/// "-1" to 2^64-1 — garbage suffixes ("10x"), and overflow.
+std::uint64_t parse_u64(const char* what, const std::string& text) {
+  if (text.empty()) throw UsageError(std::string(what) + " needs a value");
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw UsageError(std::string(what) + ": '" + text +
+                       "' is not a non-negative integer");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    throw UsageError(std::string(what) + ": '" + text +
+                     "' overflows a 64-bit integer");
+  }
+  return v;
+}
+
+std::size_t parse_size(const char* what, const std::string& text) {
+  const std::uint64_t v = parse_u64(what, text);
+  if (v > std::numeric_limits<std::size_t>::max()) {
+    throw UsageError(std::string(what) + ": '" + text + "' is too large");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double parse_finite(const char* what, const std::string& text) {
+  if (text.empty()) throw UsageError(std::string(what) + " needs a value");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || end == text.c_str() ||
+      errno == ERANGE || !std::isfinite(v)) {
+    throw UsageError(std::string(what) + ": '" + text +
+                     "' is not a finite number");
+  }
+  return v;
+}
+
+/// A probability flag: finite and within [0, 1].
+double parse_rate(const char* what, const std::string& text) {
+  const double v = parse_finite(what, text);
+  if (v < 0.0 || v > 1.0) {
+    throw UsageError(std::string(what) + ": '" + text +
+                     "' must be in [0, 1]");
+  }
+  return v;
+}
 
 struct ObsFlags {
   bool metrics = false;
@@ -168,7 +243,7 @@ int cmd_trace(int argc, char** argv) {
     return 2;
   }
   const std::string abbr = argv[2];
-  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::size_t n = parse_size("<instructions>", argv[3]);
   const auto tr = core::labeled_trace(abbr, n);
   std::printf("generated %zu labeled instructions of %s (CPI %.3f)\n", tr.size(),
               abbr.c_str(),
@@ -201,23 +276,27 @@ int cmd_simulate(int argc, char** argv) {
   ObsFlags obs_flags;
   for (int i = 3; i < argc; ++i) {
     const std::string s = argv[i];
-    if (s.rfind("--parallel=", 0) == 0) parallel = std::stoull(s.substr(11));
-    else if (s.rfind("--gpus=", 0) == 0) gpus = std::stoull(s.substr(7));
-    else if (s.rfind("--context=", 0) == 0) context = std::stoull(s.substr(10));
+    if (s.rfind("--parallel=", 0) == 0) {
+      parallel = parse_size("--parallel", s.substr(11));
+    }
+    else if (s.rfind("--gpus=", 0) == 0) gpus = parse_size("--gpus", s.substr(7));
+    else if (s.rfind("--context=", 0) == 0) {
+      context = parse_size("--context", s.substr(10));
+    }
     else if (s == "--no-recovery") recovery = false;
     else if (s.rfind("--fault-kill=", 0) == 0) {
-      fault.device_kill_rate = std::stod(s.substr(13));
+      fault.device_kill_rate = parse_rate("--fault-kill", s.substr(13));
       any_fault = true;
     } else if (s.rfind("--fault-corrupt=", 0) == 0) {
-      fault.output_corrupt_rate = std::stod(s.substr(16));
+      fault.output_corrupt_rate = parse_rate("--fault-corrupt", s.substr(16));
       any_fault = true;
     } else if (s.rfind("--fault-straggler=", 0) == 0) {
-      fault.straggler_rate = std::stod(s.substr(18));
+      fault.straggler_rate = parse_rate("--fault-straggler", s.substr(18));
       any_fault = true;
     } else if (s.rfind("--fault-seed=", 0) == 0) {
-      fault.seed = std::stoull(s.substr(13));
+      fault.seed = parse_u64("--fault-seed", s.substr(13));
     } else if (s.rfind("--retries=", 0) == 0) {
-      retries = std::stoull(s.substr(10));
+      retries = parse_size("--retries", s.substr(10));
     } else if (s == "--checkpoint") {
       checkpoint = true;
     } else if (s.rfind("--checkpoint=", 0) == 0) {
@@ -228,7 +307,7 @@ int cmd_simulate(int argc, char** argv) {
       resume = true;
     }
     else if (parse_obs_flag(s, obs_flags)) continue;
-    else if (s[0] != '-') n = std::stoull(s);
+    else if (s[0] != '-') n = parse_size("<instructions>", s);
     else {
       std::fprintf(stderr, "unknown flag %s\n", s.c_str());
       return 2;
@@ -315,8 +394,9 @@ int cmd_suite(int argc, char** argv) {
     }
     pos.push_back(s);
   }
-  const std::size_t n = pos.size() > 0 ? std::stoull(pos[0]) : 50000;
-  const std::size_t gpus = pos.size() > 1 ? std::stoull(pos[1]) : 4;
+  const std::size_t n =
+      pos.size() > 0 ? parse_size("<instructions-per-benchmark>", pos[0]) : 50000;
+  const std::size_t gpus = pos.size() > 1 ? parse_size("<gpus>", pos[1]) : 4;
   enable_obs(obs_flags);
   std::printf("simulating all 21 benchmarks, %zu instructions each, across "
               "%zu modeled GPUs (LPT schedule)\n", n, gpus);
@@ -360,7 +440,7 @@ int cmd_rates(int argc, char** argv) {
     std::fprintf(stderr, "usage: mlsim_cli rates <benchmark|trace.bin> [instructions]\n");
     return 2;
   }
-  const std::size_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+  const std::size_t n = argc > 3 ? parse_size("<instructions>", argv[3]) : 0;
   const auto tr = acquire(argv[2], n);
   const auto r = core::trace_rates(tr);
   std::printf("instructions:            %zu\n", tr.size());
@@ -397,8 +477,8 @@ int cmd_stream(int argc, char** argv) {
     return 2;
   }
   const std::string abbr = pos[0];
-  const std::uint64_t n = std::stoull(pos[1]);
-  const std::size_t ctx = pos.size() > 2 ? std::stoull(pos[2]) : 64;
+  const std::uint64_t n = parse_u64("<instructions>", pos[1]);
+  const std::size_t ctx = pos.size() > 2 ? parse_size("[context]", pos[2]) : 64;
   enable_obs(obs_flags);
   trace::LabeledTraceStream stream(trace::find_workload(abbr));
   core::AnalyticPredictor pred;
@@ -412,12 +492,125 @@ int cmd_stream(int argc, char** argv) {
   return 0;
 }
 
+/// Soak the resilient service: a burst of requests across all priority
+/// classes, optionally under chaos (fault injection + real worker stalls),
+/// with every typed outcome tallied at the end.
+int cmd_serve(int argc, char** argv) {
+  ObsFlags obs_flags;
+  std::vector<std::string> pos;
+  std::size_t requests = 32, workers = 2, queue = 8, parallel = 4;
+  std::uint64_t deadline_ms = 0, stall_ms = 0;
+  device::FaultOptions fault;
+  fault.seed = 1;
+  bool any_fault = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (parse_obs_flag(s, obs_flags)) continue;
+    if (s.rfind("--requests=", 0) == 0) {
+      requests = parse_size("--requests", s.substr(11));
+    } else if (s.rfind("--workers=", 0) == 0) {
+      workers = parse_size("--workers", s.substr(10));
+    } else if (s.rfind("--queue=", 0) == 0) {
+      queue = parse_size("--queue", s.substr(8));
+    } else if (s.rfind("--parallel=", 0) == 0) {
+      parallel = parse_size("--parallel", s.substr(11));
+    } else if (s.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = parse_u64("--deadline-ms", s.substr(14));
+    } else if (s.rfind("--stall-ms=", 0) == 0) {
+      stall_ms = parse_u64("--stall-ms", s.substr(11));
+    } else if (s.rfind("--fault-kill=", 0) == 0) {
+      fault.device_kill_rate = parse_rate("--fault-kill", s.substr(13));
+      any_fault = true;
+    } else if (s.rfind("--fault-corrupt=", 0) == 0) {
+      fault.output_corrupt_rate = parse_rate("--fault-corrupt", s.substr(16));
+      any_fault = true;
+    } else if (s.rfind("--fault-straggler=", 0) == 0) {
+      fault.straggler_rate = parse_rate("--fault-straggler", s.substr(18));
+      any_fault = true;
+    } else if (s.rfind("--fault-seed=", 0) == 0) {
+      fault.seed = parse_u64("--fault-seed", s.substr(13));
+    } else if (!s.empty() && s[0] != '-') {
+      pos.push_back(s);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+  }
+  if (pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: mlsim_cli serve <benchmark|trace.bin> [instructions] "
+                 "[--requests=N] [--workers=W] [--queue=Q] [--parallel=P] "
+                 "[--deadline-ms=D] [--fault-kill=R] [--fault-corrupt=R] "
+                 "[--fault-straggler=R] [--fault-seed=S] [--stall-ms=M] "
+                 "[--metrics[=path]] [--trace-out=file.json]\n");
+    return 2;
+  }
+  const std::size_t n =
+      pos.size() > 1 ? parse_size("[instructions]", pos[1]) : 20000;
+  enable_obs(obs_flags);
+  const auto tr = acquire(pos[0], n);
+
+  core::AnalyticPredictor primary, fallback;
+  service::ServiceOptions so;
+  so.num_workers = workers;
+  so.queue_capacity = queue;
+  service::SimulationService svc(primary, fallback, so);
+  const device::FaultInjector injector(fault);
+
+  std::printf("serving %zu requests (%zu workers, queue %zu, %zu sub-traces"
+              "%s%s)\n",
+              requests, workers, queue, parallel,
+              any_fault ? ", chaos on" : "",
+              deadline_ms ? ", deadline set" : "");
+  std::vector<service::SimulationService::Ticket> tickets;
+  tickets.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    service::Request rq;
+    rq.trace = &tr;
+    rq.engine = service::EngineKind::kParallel;
+    rq.num_subtraces = parallel;
+    rq.priority = static_cast<service::Priority>(i % service::kNumPriorities);
+    if (deadline_ms > 0) rq.deadline = std::chrono::milliseconds(deadline_ms);
+    if (any_fault) {
+      rq.faults = &injector;
+      rq.straggler_stall = std::chrono::milliseconds(stall_ms);
+    }
+    tickets.push_back(svc.submit(std::move(rq)));
+  }
+
+  std::size_t by_status[8] = {};
+  for (auto& t : tickets) {
+    const service::Response rsp = t.future.get();
+    ++by_status[static_cast<std::size_t>(rsp.status)];
+  }
+  Table table({"outcome", "requests"});
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (by_status[s] == 0) continue;
+    table.add_row({std::string(to_string(
+                       static_cast<service::ResponseStatus>(s))),
+                   static_cast<std::int64_t>(by_status[s])});
+  }
+  table.print(std::cout);
+  const auto st = svc.stats();
+  std::printf("hangs detected %llu | hang requeues %llu | degraded %llu | "
+              "breaker %s (%llu trips)\n",
+              static_cast<unsigned long long>(st.hangs_detected),
+              static_cast<unsigned long long>(st.hang_requeues),
+              static_cast<unsigned long long>(st.degraded),
+              to_string(svc.breaker_state()),
+              static_cast<unsigned long long>(svc.breaker_trips()));
+  std::printf("health: %s\n", svc.health_json().c_str());
+  svc.shutdown();
+  finish_obs(obs_flags);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mlsim_cli <trace|simulate|suite|rates|stream> ...\n");
+                 "usage: mlsim_cli <trace|simulate|suite|rates|stream|serve> ...\n");
     return 2;
   }
   // Distinct exit codes per failure class so scripts and the test harness
@@ -430,7 +623,11 @@ int main(int argc, char** argv) {
     if (cmd == "suite") return cmd_suite(argc, argv);
     if (cmd == "rates") return cmd_rates(argc, argv);
     if (cmd == "stream") return cmd_stream(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "mlsim_cli: %s\n", e.what());
     return 2;
   } catch (const IoError& e) {
     std::fprintf(stderr, "mlsim_cli: I/O error: %s\n", e.what());

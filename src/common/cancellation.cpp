@@ -1,0 +1,59 @@
+#include "common/cancellation.h"
+
+#include <string>
+
+namespace mlsim {
+
+const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kManual: return "cancelled";
+    case CancelReason::kDeadline: return "deadline exceeded";
+    case CancelReason::kHang: return "worker hung";
+  }
+  return "unknown";
+}
+
+void CancelSource::cancel(CancelReason reason) {
+  std::uint8_t expected = 0;
+  state_->reason.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(reason), std::memory_order_acq_rel);
+}
+
+bool CancelToken::cancelled() const {
+  if (state_ == nullptr) return false;
+  if (state_->reason.load(std::memory_order_acquire) != 0) return true;
+  if (state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline) {
+    // Latch the expiry so reason() is stable from here on.
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::check() const {
+  if (state_ == nullptr) return;
+  const std::uint64_t beat =
+      state_->heartbeat.fetch_add(1, std::memory_order_relaxed);
+  const std::uint8_t r = state_->reason.load(std::memory_order_acquire);
+  if (r != 0) {
+    throw CancelledError(static_cast<CancelReason>(r),
+                         std::string("request cancelled: ") +
+                             to_string(static_cast<CancelReason>(r)));
+  }
+  if ((beat & 63) == 0 && state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline) {
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_acq_rel);
+    throw CancelledError(CancelReason::kDeadline,
+                         "request cancelled: deadline exceeded");
+  }
+}
+
+}  // namespace mlsim

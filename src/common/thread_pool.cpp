@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <string>
 
 #include "common/check.h"
 #include "obs/obs.h"
@@ -27,7 +28,8 @@ void set_current_thread_name(std::size_t index) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
+ThreadPool::ThreadPool(std::size_t n_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
   if (n_threads == 0) {
     n_threads = std::thread::hardware_concurrency();
     if (n_threads == 0) n_threads = 1;
@@ -66,6 +68,11 @@ std::size_t ThreadPool::pending() const {
   return queue_.size();
 }
 
+std::size_t ThreadPool::queue_high_water() const {
+  std::lock_guard lk(mu_);
+  return high_water_;
+}
+
 void ThreadPool::run_task(Task& task) {
   MLSIM_HIST_TIMER(obs::names::kPoolTaskNs);
   task.fn();
@@ -88,14 +95,28 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::enqueue(std::function<void()> fn) {
+bool ThreadPool::try_enqueue(std::function<void()> fn) {
   {
     std::lock_guard lk(mu_);
+    if (capacity_ != 0 && queue_.size() >= capacity_) return false;
     queue_.push_back(Task{std::move(fn)});
+    if (queue_.size() > high_water_) {
+      high_water_ = queue_.size();
+      MLSIM_GAUGE_SET(obs::names::kPoolQueueHighWater,
+                      static_cast<double>(high_water_));
+    }
     MLSIM_GAUGE_SET(obs::names::kPoolQueueDepth,
                     static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  if (!try_enqueue(std::move(fn))) {
+    throw QueueFullError("thread pool queue is at capacity (" +
+                         std::to_string(capacity_) + " tasks)");
+  }
 }
 
 void ThreadPool::parallel_for_chunks(
@@ -121,8 +142,7 @@ void ThreadPool::parallel_for_chunks(
     const std::size_t lo = begin + c * chunk;
     if (lo >= end) break;
     const std::size_t hi = std::min(end, lo + chunk);
-    ++launched;
-    enqueue([&, lo, hi] {
+    const bool queued = try_enqueue([&, lo, hi] {
       try {
         fn(lo, hi);
       } catch (...) {
@@ -130,11 +150,26 @@ void ThreadPool::parallel_for_chunks(
         if (!first_error) first_error = std::current_exception();
       }
       {
+        // Notify while holding done_mu: the waiter owns done_cv on its
+        // stack and may destroy it the moment the predicate holds, so the
+        // signal must complete before the count becomes observable.
         std::lock_guard lk(done_mu);
         done.fetch_add(1, std::memory_order_release);
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
+    if (queued) {
+      ++launched;
+    } else {
+      // Bounded queue full: graceful degradation — the chunk runs on the
+      // caller instead of growing the queue.
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
   }
   // Caller runs the first chunk.
   try {

@@ -15,15 +15,29 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace mlsim {
 
+/// Thrown by ThreadPool::post() when the task queue is at capacity — the
+/// pool never grows its queue beyond the configured bound, so a producer
+/// outrunning the workers gets explicit backpressure instead of unbounded
+/// memory growth.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class ThreadPool {
  public:
   /// n_threads == 0 selects hardware_concurrency() (at least 1).
-  explicit ThreadPool(std::size_t n_threads = 0);
+  /// queue_capacity == 0 means unbounded; otherwise at most that many tasks
+  /// may be queued (running tasks do not count). parallel_for degrades
+  /// gracefully when the queue is full (chunks run on the caller); post()
+  /// throws QueueFullError.
+  explicit ThreadPool(std::size_t n_threads = 0, std::size_t queue_capacity = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,6 +47,18 @@ class ThreadPool {
 
   /// Tasks currently queued (not yet picked up by a worker).
   std::size_t pending() const;
+
+  /// Configured queue bound (0 = unbounded).
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Highest queue depth observed so far (also exported as the
+  /// `thread_pool.queue_high_water` gauge).
+  std::size_t queue_high_water() const;
+
+  /// Fire-and-forget task submission. Throws QueueFullError when the queue
+  /// is at capacity. Tasks posted to a pool with zero workers (single-core
+  /// machine) run in the destructor's drain.
+  void post(std::function<void()> fn);
 
   /// Run fn(i) for i in [begin, end), partitioned in contiguous chunks across
   /// the pool plus the calling thread. Blocks until all iterations finish.
@@ -53,7 +79,8 @@ class ThreadPool {
   };
 
   void worker_loop();
-  void enqueue(std::function<void()> fn);
+  /// Queue `fn` if capacity allows; returns false when the queue is full.
+  bool try_enqueue(std::function<void()> fn);
   void run_task(Task& task);
 
   std::vector<std::thread> workers_;
@@ -61,6 +88,8 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::size_t capacity_ = 0;    // 0 = unbounded
+  std::size_t high_water_ = 0;  // max queue depth seen (under mu_)
 };
 
 }  // namespace mlsim

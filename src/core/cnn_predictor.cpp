@@ -56,7 +56,12 @@ CnnPredictor::CnnPredictor(SimNetBundle bundle, device::Engine engine)
 }
 
 std::uint32_t CnnPredictor::decode(float y) {
+  // A NaN weight or activation must never become a plausible latency (the
+  // int conversion of a NaN is garbage); report a sentinel the anomaly
+  // guard is guaranteed to trip on instead.
+  if (!std::isfinite(y)) [[unlikely]] return kNonFiniteLatency;
   const float v = std::expm1(std::max(y, 0.0f));
+  if (!(v < 2147483648.0f)) [[unlikely]] return kNonFiniteLatency;
   return static_cast<std::uint32_t>(std::lround(std::max(v, 0.0f)));
 }
 

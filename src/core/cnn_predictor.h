@@ -43,7 +43,14 @@ class CnnPredictor final : public LatencyPredictor {
   tensor::SimNetModel& model() { return bundle_.model; }
   const SimNetBundle& bundle() const { return bundle_; }
 
-  /// Convert a raw model output (log1p space) to integer cycles.
+  /// Latency substituted for a non-finite (NaN/Inf) or overflowing model
+  /// output. Chosen above ParallelSimOptions::anomaly_latency_limit's
+  /// default, so a poisoned model routes through the existing anomaly /
+  /// graceful-degradation path instead of silently corrupting the Clock.
+  static constexpr std::uint32_t kNonFiniteLatency = 1u << 24;
+
+  /// Convert a raw model output (log1p space) to integer cycles. NaN, Inf,
+  /// and values that overflow 31 bits decode to kNonFiniteLatency.
   static std::uint32_t decode(float y);
 
  private:

@@ -48,6 +48,7 @@ SimOutput GpuSimulator::run(const trace::EncodedTrace& trace, std::size_t begin,
   std::size_t next = begin;  // next trace row to stage
   std::size_t cur = begin;   // instruction currently being simulated
   while (cur < end) {
+    if (opts_.cancel != nullptr) opts_.cancel->check();
     if (queue.needs_refill()) {
       MLSIM_TRACE_SPAN("gpu_sim/copy");
       MLSIM_HIST_TIMER(obs::names::kGpuSimBatchFillNs);

@@ -187,13 +187,36 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
   // ---- resume ---------------------------------------------------------------
   if (checkpointing && opts_.resume) {
     ParallelCheckpoint ck;
-    if (load_checkpoint(opts_.checkpoint_path, ck)) {
-      check(ck.fingerprint == fp,
-            "checkpoint was written by a different trace/options: " +
-                opts_.checkpoint_path.string());
-      check(ck.num_partitions == P && ck.ring_capacity == cap &&
-                ck.gpu_lost.size() == G,
-            "checkpoint shape mismatch: " + opts_.checkpoint_path.string());
+    bool have_checkpoint = false;
+    try {
+      have_checkpoint = load_checkpoint(opts_.checkpoint_path, ck);
+      if (have_checkpoint) {
+        // Validate everything before restoring any state, so lenient mode
+        // can fall back to a pristine clean start.
+        check(ck.fingerprint == fp,
+              "checkpoint was written by a different trace/options: " +
+                  opts_.checkpoint_path.string());
+        check(ck.num_partitions == P && ck.ring_capacity == cap &&
+                  ck.gpu_lost.size() == G,
+              "checkpoint shape mismatch: " + opts_.checkpoint_path.string());
+        const std::size_t prefix = res.boundaries[ck.next_partition];
+        if (opts_.record_predictions) {
+          check(ck.predictions.size() == 3 * prefix,
+                "checkpoint prediction prefix mismatch: " +
+                    opts_.checkpoint_path.string());
+        }
+        if (opts_.record_context_counts) {
+          check(ck.context_counts.size() == prefix,
+                "checkpoint context-count prefix mismatch: " +
+                    opts_.checkpoint_path.string());
+        }
+      }
+    } catch (const CheckError& e) {
+      if (!opts_.resume_lenient) throw;
+      res.resume_error = e.what();
+      have_checkpoint = false;
+    }
+    if (have_checkpoint) {
       start_p = ck.next_partition;
       res.warmup_instructions = ck.warmup_instructions;
       res.corrected_instructions = ck.corrected_instructions;
@@ -221,18 +244,12 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
       gpu_lost = ck.gpu_lost;
       const std::size_t prefix = res.boundaries[start_p];
       if (opts_.record_predictions) {
-        check(ck.predictions.size() == 3 * prefix,
-              "checkpoint prediction prefix mismatch: " +
-                  opts_.checkpoint_path.string());
         for (std::size_t i = 0; i < prefix; ++i) {
           res.predictions[i] = {ck.predictions[3 * i], ck.predictions[3 * i + 1],
                                 ck.predictions[3 * i + 2]};
         }
       }
       if (opts_.record_context_counts) {
-        check(ck.context_counts.size() == prefix,
-              "checkpoint context-count prefix mismatch: " +
-                  opts_.checkpoint_path.string());
         std::copy(ck.context_counts.begin(), ck.context_counts.end(),
                   res.context_counts.begin());
       }
@@ -344,6 +361,7 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
       bool anomaly = false;
 
       for (std::size_t i = h_begin; i < e; ++i) {
+        if (opts_.cancel != nullptr) opts_.cancel->check();
         if (i == b) clock_at_body = clock;
         const LazyWindow lw(trace, i, h_begin, ring.data(), cap, clock, rows);
 

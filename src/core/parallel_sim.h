@@ -27,8 +27,10 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/cost_model.h"
 #include "core/predictor.h"
 #include "core/sim_output.h"
@@ -80,8 +82,18 @@ struct ParallelSimOptions {
   /// Resume from checkpoint_path if a valid checkpoint exists (fresh run
   /// otherwise). The checkpoint fingerprint must match this trace + options.
   bool resume = false;
+  /// With resume: a corrupt, truncated, or mismatched checkpoint normally
+  /// throws CheckError. Lenient mode records the error in
+  /// ParallelSimResult::resume_error and falls back to a clean start instead
+  /// — the mode for unattended services where a torn checkpoint must never
+  /// wedge the run.
+  bool resume_lenient = false;
   /// Completed partitions between checkpoint writes.
   std::size_t checkpoint_interval = 1;
+
+  /// Cooperative cancellation: polled once per instruction; a cancelled or
+  /// past-deadline run throws CancelledError. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ParallelSimResult {
@@ -115,6 +127,9 @@ struct ParallelSimResult {
   std::size_t lost_devices = 0;  // device slots lost to kills
   double retry_backoff_us = 0.0; // modeled backoff folded into sim_time_us
   bool resumed = false;          // run continued from a checkpoint
+  /// Lenient resume only: why the checkpoint was rejected (empty = it was
+  /// fine or there was none); the run started clean.
+  std::string resume_error;
 };
 
 class ParallelSimulator {

@@ -28,6 +28,7 @@ SimOutput SequentialSimulator::run(const trace::EncodedTrace& trace,
   StepProfile acc;
 
   for (std::size_t i = begin; i < end; ++i) {
+    if (opts_.cancel != nullptr) opts_.cancel->check();
     if (opts_.record_context_counts) {
       out.context_counts.push_back(static_cast<std::uint16_t>(queue.context_count()));
     }

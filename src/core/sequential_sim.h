@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/cost_model.h"
 #include "core/instruction_queue.h"
 #include "core/predictor.h"
@@ -30,6 +31,9 @@ struct SequentialSimOptions {
   /// The unoptimised baseline runs LibTorch inference (paper §III).
   device::Engine engine = device::Engine::kLibTorch;
   CostModel costs;
+  /// Cooperative cancellation: polled once per instruction; a cancelled or
+  /// past-deadline run throws CancelledError. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 class SequentialSimulator {

@@ -11,7 +11,8 @@ StreamingResult simulate_stream(LatencyPredictor& predictor,
                                 trace::LabeledTraceStream& stream,
                                 std::uint64_t total_instructions,
                                 std::size_t context_length,
-                                std::size_t chunk_size) {
+                                std::size_t chunk_size,
+                                const CancelToken* cancel) {
   check(context_length > 0, "context length must be positive");
   check(chunk_size > 0, "chunk size must be positive");
   StreamingResult res;
@@ -41,6 +42,7 @@ StreamingResult simulate_stream(LatencyPredictor& predictor,
       MLSIM_TRACE_SPAN("stream/predict");
       MLSIM_HIST_TIMER(obs::names::kStreamPredictNs);
       for (; local < buf.size(); ++local) {
+        if (cancel != nullptr) cancel->check();
         const LazyWindow lw(buf, local, /*oldest=*/0, ring.data(), cap, clock,
                             rows);
         const LatencyPrediction p = predictor.predict_lazy(lw);

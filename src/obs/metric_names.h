@@ -62,8 +62,30 @@ inline constexpr const char* kTrainEpochNs = "trainer.epoch_ns";
 
 // -- thread_pool (src/common/thread_pool.cpp) --------------------------------
 inline constexpr const char* kPoolQueueDepth = "thread_pool.queue_depth";
+inline constexpr const char* kPoolQueueHighWater = "thread_pool.queue_high_water";
 inline constexpr const char* kPoolTasksDone = "thread_pool.tasks_done";
 inline constexpr const char* kPoolTaskNs = "thread_pool.task_ns";
+
+// -- service (src/service/service.cpp; docs/SERVICE.md) ----------------------
+inline constexpr const char* kSvcAccepted = "service.requests_accepted";
+inline constexpr const char* kSvcRejectedQueueFull =
+    "service.rejected_queue_full";
+inline constexpr const char* kSvcRejectedOverload = "service.rejected_overload";
+inline constexpr const char* kSvcRejectedShedding = "service.rejected_shedding";
+inline constexpr const char* kSvcCompleted = "service.requests_completed";
+inline constexpr const char* kSvcFailed = "service.requests_failed";
+inline constexpr const char* kSvcDeadlineExceeded = "service.deadline_exceeded";
+inline constexpr const char* kSvcCancelled = "service.requests_cancelled";
+inline constexpr const char* kSvcDegraded = "service.degraded_requests";
+inline constexpr const char* kSvcHangsDetected = "service.hangs_detected";
+inline constexpr const char* kSvcHangRequeues = "service.hang_requeues";
+inline constexpr const char* kSvcQueueDepth = "service.queue_depth";
+inline constexpr const char* kSvcInflight = "service.inflight";
+// 0 = closed, 1 = open, 2 = half-open (see service/circuit_breaker.h).
+inline constexpr const char* kSvcBreakerState = "service.breaker_state";
+inline constexpr const char* kSvcBreakerTrips = "service.breaker_trips";
+inline constexpr const char* kSvcBreakerProbes = "service.breaker_probes";
+inline constexpr const char* kSvcRequestNs = "service.request_ns";
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
@@ -106,8 +128,26 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kTrainStepNs, MetricKind::kHistogram},
     {kTrainEpochNs, MetricKind::kHistogram},
     {kPoolQueueDepth, MetricKind::kGauge},
+    {kPoolQueueHighWater, MetricKind::kGauge},
     {kPoolTasksDone, MetricKind::kCounter},
     {kPoolTaskNs, MetricKind::kHistogram},
+    {kSvcAccepted, MetricKind::kCounter},
+    {kSvcRejectedQueueFull, MetricKind::kCounter},
+    {kSvcRejectedOverload, MetricKind::kCounter},
+    {kSvcRejectedShedding, MetricKind::kCounter},
+    {kSvcCompleted, MetricKind::kCounter},
+    {kSvcFailed, MetricKind::kCounter},
+    {kSvcDeadlineExceeded, MetricKind::kCounter},
+    {kSvcCancelled, MetricKind::kCounter},
+    {kSvcDegraded, MetricKind::kCounter},
+    {kSvcHangsDetected, MetricKind::kCounter},
+    {kSvcHangRequeues, MetricKind::kCounter},
+    {kSvcQueueDepth, MetricKind::kGauge},
+    {kSvcInflight, MetricKind::kGauge},
+    {kSvcBreakerState, MetricKind::kGauge},
+    {kSvcBreakerTrips, MetricKind::kCounter},
+    {kSvcBreakerProbes, MetricKind::kCounter},
+    {kSvcRequestNs, MetricKind::kHistogram},
 };
 
 inline constexpr std::size_t kNumBuiltinMetrics =

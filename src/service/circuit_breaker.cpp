@@ -1,0 +1,105 @@
+#include "service/circuit_breaker.h"
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace mlsim::service {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions opts) : opts_(opts) {
+  check(opts_.failure_threshold > 0, "breaker failure threshold must be > 0");
+  check(opts_.successes_to_close > 0, "breaker successes_to_close must be > 0");
+}
+
+void CircuitBreaker::trip_locked() {
+  state_ = BreakerState::kOpen;
+  cooldown_left_ = opts_.open_cooldown;
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+  MLSIM_COUNTER_ADD(obs::names::kSvcBreakerTrips, 1);
+  MLSIM_GAUGE_SET(obs::names::kSvcBreakerState,
+                  static_cast<double>(BreakerState::kOpen));
+}
+
+bool CircuitBreaker::allow_primary() {
+  std::lock_guard lk(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (cooldown_left_ > 0) {
+        --cooldown_left_;
+        return false;
+      }
+      state_ = BreakerState::kHalfOpen;
+      MLSIM_GAUGE_SET(obs::names::kSvcBreakerState,
+                      static_cast<double>(BreakerState::kHalfOpen));
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;  // one probe at a time
+      probe_in_flight_ = true;
+      ++probes_;
+      MLSIM_COUNTER_ADD(obs::names::kSvcBreakerProbes, 1);
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++probe_successes_ >= opts_.successes_to_close) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      probe_successes_ = 0;
+      MLSIM_GAUGE_SET(obs::names::kSvcBreakerState,
+                      static_cast<double>(BreakerState::kClosed));
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    trip_locked();  // failed probe: back to open, fresh cooldown
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= opts_.failure_threshold) {
+    trip_locked();
+  }
+}
+
+void CircuitBreaker::record_no_verdict() {
+  std::lock_guard lk(mu_);
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard lk(mu_);
+  return trips_;
+}
+
+std::uint64_t CircuitBreaker::probes() const {
+  std::lock_guard lk(mu_);
+  return probes_;
+}
+
+}  // namespace mlsim::service

@@ -1,0 +1,70 @@
+// Circuit breaker guarding the primary (CNN) predictor.
+//
+// Repeated anomalies — NaN latencies, corrupted inference outputs, any run
+// that had to degrade to the fallback predictor — indicate the primary
+// backend is unhealthy (poisoned weights, a sick device). Instead of letting
+// every request pay the anomaly-detect-and-retry cost, the breaker trips
+// after `failure_threshold` consecutive failures and routes requests
+// straight to the analytic fallback (state kOpen). After `open_cooldown`
+// fallback-served requests it admits a single probe onto the primary
+// (kHalfOpen); a clean probe closes the breaker, a failed one reopens it.
+//
+// Cooldown is counted in requests, not wall time, so breaker behaviour is
+// deterministic under test and independent of machine speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace mlsim::service {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* to_string(BreakerState s);
+
+struct CircuitBreakerOptions {
+  /// Consecutive primary failures that trip the breaker.
+  std::size_t failure_threshold = 3;
+  /// Fallback-served requests while open before the next half-open probe.
+  std::size_t open_cooldown = 4;
+  /// Consecutive successful probes required to close again.
+  std::size_t successes_to_close = 1;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions opts = {});
+
+  /// Ask before running a request on the primary predictor. Returns true if
+  /// the primary may be used: always when closed, and for exactly one
+  /// in-flight probe when the open cooldown has elapsed. A false return
+  /// means the caller must use the fallback.
+  bool allow_primary();
+
+  /// Verdicts on a primary run admitted by allow_primary().
+  void record_success();
+  void record_failure();
+  /// The admitted run ended without a verdict on the predictor (cancelled,
+  /// deadline, hang): release the probe slot without changing state.
+  void record_no_verdict();
+
+  BreakerState state() const;
+  std::uint64_t trips() const;   // closed/half-open -> open transitions
+  std::uint64_t probes() const;  // half-open probes admitted
+
+ private:
+  void trip_locked();
+
+  CircuitBreakerOptions opts_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::size_t probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace mlsim::service

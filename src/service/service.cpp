@@ -1,0 +1,545 @@
+#include "service/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "core/gpu_sim.h"
+#include "core/parallel_sim.h"
+#include "core/sequential_sim.h"
+#include "core/streaming.h"
+#include "device/device.h"
+#include "obs/obs.h"
+#include "trace/stream.h"
+#include "trace/workload.h"
+
+namespace mlsim::service {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
+const char* to_string(EngineKind e) {
+  switch (e) {
+    case EngineKind::kParallel: return "parallel";
+    case EngineKind::kGpu: return "gpu";
+    case EngineKind::kSequential: return "sequential";
+    case EngineKind::kStreaming: return "streaming";
+  }
+  return "unknown";
+}
+
+const char* to_string(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kCompleted: return "completed";
+    case ResponseStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case ResponseStatus::kRejectedOverload: return "rejected_overload";
+    case ResponseStatus::kRejectedShedding: return "rejected_shedding";
+    case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case ResponseStatus::kCancelled: return "cancelled";
+    case ResponseStatus::kWorkerHung: return "worker_hung";
+    case ResponseStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Chaos hook: an attempt the injector marks as a straggler really stalls
+/// the worker thread — no engine work, no heartbeats — which is exactly the
+/// failure mode the hang watchdog exists to catch. Returns early once the
+/// watchdog (or anyone) cancels the attempt.
+void injected_stall(const Request& req, std::uint64_t id, std::size_t attempt,
+                    const CancelSource& source) {
+  if (req.faults == nullptr || req.straggler_stall.count() <= 0) return;
+  if (req.faults->straggler_factor(static_cast<std::size_t>(id), attempt) <=
+      1.0) {
+    return;
+  }
+  const auto until = Clock::now() + req.straggler_stall;
+  while (Clock::now() < until) {
+    if (source.cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+SimulationService::SimulationService(core::LatencyPredictor& primary,
+                                     core::LatencyPredictor& fallback,
+                                     ServiceOptions opts)
+    : primary_(primary),
+      fallback_(fallback),
+      opts_(opts),
+      breaker_(opts.breaker) {
+  check(opts_.num_workers > 0, "service needs at least one worker");
+  check(opts_.queue_capacity > 0, "service queue capacity must be > 0");
+  check(opts_.hang_timeout.count() > 0, "hang_timeout must be > 0");
+  check(opts_.watchdog_interval.count() > 0, "watchdog_interval must be > 0");
+  max_outstanding_ = opts_.max_outstanding != 0
+                         ? opts_.max_outstanding
+                         : opts_.queue_capacity + opts_.num_workers;
+  auto shed = static_cast<std::size_t>(
+      static_cast<double>(opts_.queue_capacity) * opts_.shed_fraction);
+  shed_limit_ = shed < opts_.queue_capacity ? shed : opts_.queue_capacity;
+
+  slots_.resize(opts_.num_workers);
+  workers_.reserve(opts_.num_workers);
+  for (std::size_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+SimulationService::~SimulationService() { shutdown(); }
+
+void SimulationService::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard lk(mu_);
+    watchdog_stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::size_t SimulationService::queued_locked() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+void SimulationService::export_gauges_locked() const {
+  MLSIM_GAUGE_SET(obs::names::kSvcQueueDepth,
+                  static_cast<double>(queued_locked()));
+  MLSIM_GAUGE_SET(obs::names::kSvcInflight, static_cast<double>(busy_));
+}
+
+SimulationService::StatePtr SimulationService::pop_locked() {
+  for (auto& q : queues_) {
+    if (!q.empty()) {
+      StatePtr st = q.front();
+      q.pop_front();
+      return st;
+    }
+  }
+  return nullptr;
+}
+
+void SimulationService::resolve_locked(const StatePtr& st, Response rsp) {
+  if (st->resolved) return;  // watchdog and worker can race to resolve
+  st->resolved = true;
+  rsp.id = st->id;
+  rsp.hang_requeues = st->hang_requeues;
+  switch (rsp.status) {
+    case ResponseStatus::kCompleted:
+      ++stats_.completed;
+      MLSIM_COUNTER_ADD(obs::names::kSvcCompleted, 1);
+      if (rsp.degraded) {
+        ++stats_.degraded;
+        MLSIM_COUNTER_ADD(obs::names::kSvcDegraded, 1);
+      }
+      break;
+    case ResponseStatus::kRejectedQueueFull:
+      ++stats_.rejected_queue_full;
+      MLSIM_COUNTER_ADD(obs::names::kSvcRejectedQueueFull, 1);
+      break;
+    case ResponseStatus::kRejectedOverload:
+      ++stats_.rejected_overload;
+      MLSIM_COUNTER_ADD(obs::names::kSvcRejectedOverload, 1);
+      break;
+    case ResponseStatus::kRejectedShedding:
+      ++stats_.rejected_shedding;
+      MLSIM_COUNTER_ADD(obs::names::kSvcRejectedShedding, 1);
+      break;
+    case ResponseStatus::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      MLSIM_COUNTER_ADD(obs::names::kSvcDeadlineExceeded, 1);
+      break;
+    case ResponseStatus::kCancelled:
+      ++stats_.cancelled;
+      MLSIM_COUNTER_ADD(obs::names::kSvcCancelled, 1);
+      break;
+    case ResponseStatus::kWorkerHung:
+      ++stats_.hung;
+      MLSIM_COUNTER_ADD(obs::names::kSvcFailed, 1);
+      break;
+    case ResponseStatus::kFailed:
+      ++stats_.failed;
+      MLSIM_COUNTER_ADD(obs::names::kSvcFailed, 1);
+      break;
+  }
+  if (!is_rejection(rsp.status)) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - st->submitted)
+                        .count();
+    MLSIM_HIST_RECORD(obs::names::kSvcRequestNs, static_cast<double>(ns));
+  }
+  st->promise.set_value(std::move(rsp));
+}
+
+SimulationService::Ticket SimulationService::submit(Request req) {
+  auto st = std::make_shared<RequestState>();
+  st->req = std::move(req);
+  st->submitted = Clock::now();
+  if (st->req.deadline.count() > 0) st->deadline = st->submitted + st->req.deadline;
+
+  Ticket ticket;
+  std::lock_guard lk(mu_);
+  st->id = next_id_++;
+  ticket.id = st->id;
+  ticket.future = st->promise.get_future();
+  ++stats_.submitted;
+
+  if (stopping_) {
+    Response rsp;
+    rsp.status = ResponseStatus::kCancelled;
+    rsp.error = "service is shutting down";
+    resolve_locked(st, std::move(rsp));
+    return ticket;
+  }
+
+  const std::size_t queued = queued_locked();
+  if (queued >= opts_.queue_capacity) {
+    Response rsp;
+    rsp.status = ResponseStatus::kRejectedQueueFull;
+    rsp.error = "queue at capacity (" + std::to_string(opts_.queue_capacity) +
+                " requests)";
+    resolve_locked(st, std::move(rsp));
+    return ticket;
+  }
+  if (queued + busy_ >= max_outstanding_) {
+    Response rsp;
+    rsp.status = ResponseStatus::kRejectedOverload;
+    rsp.error = "too many outstanding requests (" +
+                std::to_string(max_outstanding_) + ")";
+    resolve_locked(st, std::move(rsp));
+    return ticket;
+  }
+  if (st->req.priority == Priority::kLow && queued >= shed_limit_) {
+    Response rsp;
+    rsp.status = ResponseStatus::kRejectedShedding;
+    rsp.error = "low-priority request shed at " + std::to_string(queued) + "/" +
+                std::to_string(opts_.queue_capacity) + " queue occupancy";
+    resolve_locked(st, std::move(rsp));
+    return ticket;
+  }
+
+  ++stats_.accepted;
+  MLSIM_COUNTER_ADD(obs::names::kSvcAccepted, 1);
+  queues_[static_cast<std::size_t>(st->req.priority)].push_back(st);
+  export_gauges_locked();
+  cv_.notify_one();
+  return ticket;
+}
+
+bool SimulationService::cancel(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if ((*it)->id != id) continue;
+      StatePtr st = *it;
+      q.erase(it);
+      Response rsp;
+      rsp.status = ResponseStatus::kCancelled;
+      rsp.error = "cancelled while queued";
+      resolve_locked(st, std::move(rsp));
+      export_gauges_locked();
+      return true;
+    }
+  }
+  for (auto& slot : slots_) {
+    if (slot.active != nullptr && slot.active->id == id && !slot.abandoned) {
+      slot.source.cancel(CancelReason::kManual);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimulationService::worker_loop(std::size_t slot_index) {
+  WorkerSlot& slot = slots_[slot_index];
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stopping_ || queued_locked() > 0; });
+    StatePtr st = pop_locked();
+    if (st == nullptr) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    export_gauges_locked();
+
+    const auto now = Clock::now();
+    if (st->deadline != Clock::time_point{} && now >= st->deadline) {
+      Response rsp;
+      rsp.status = ResponseStatus::kDeadlineExceeded;
+      rsp.error = "deadline expired before a worker picked the request up";
+      resolve_locked(st, std::move(rsp));
+      continue;
+    }
+
+    slot.active = st;
+    slot.source = CancelSource();
+    if (st->deadline != Clock::time_point{}) {
+      slot.source.set_deadline_after(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(st->deadline -
+                                                               now));
+    }
+    slot.abandoned = false;
+    slot.last_beat = slot.source.heartbeat();
+    slot.last_change = now;
+    ++busy_;
+    export_gauges_locked();
+
+    const CancelSource source = slot.source;  // shared state, safe unlocked
+    const CancelToken token = source.token();
+    const std::size_t attempt = st->hang_requeues;
+    lk.unlock();
+
+    Response rsp;
+    try {
+      injected_stall(st->req, st->id, attempt, source);
+      token.check();  // a stall cancelled mid-way must not reach the engine
+      run_request(*st, token, rsp);
+      rsp.status = ResponseStatus::kCompleted;
+    } catch (const CancelledError& e) {
+      rsp = Response{};
+      switch (e.reason()) {
+        case CancelReason::kDeadline:
+          rsp.status = ResponseStatus::kDeadlineExceeded;
+          break;
+        case CancelReason::kHang:
+          // The watchdog owns this request now (requeued or failed typed);
+          // the abandoned flag below discards whatever we report.
+          rsp.status = ResponseStatus::kWorkerHung;
+          break;
+        default:
+          rsp.status = ResponseStatus::kCancelled;
+          break;
+      }
+      rsp.error = e.what();
+    } catch (const std::exception& e) {
+      rsp = Response{};
+      rsp.status = ResponseStatus::kFailed;
+      rsp.error = e.what();
+    } catch (...) {
+      rsp = Response{};
+      rsp.status = ResponseStatus::kFailed;
+      rsp.error = "unknown error";
+    }
+
+    lk.lock();
+    --busy_;
+    const bool abandoned = slot.abandoned;
+    slot.active = nullptr;
+    slot.abandoned = false;
+    if (!abandoned) resolve_locked(st, std::move(rsp));
+    export_gauges_locked();
+  }
+}
+
+void SimulationService::watchdog_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    stop_cv_.wait_for(lk, opts_.watchdog_interval,
+                      [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const auto now = Clock::now();
+    for (auto& slot : slots_) {
+      if (slot.active == nullptr || slot.abandoned) continue;
+      const std::uint64_t beat = slot.source.heartbeat();
+      if (beat != slot.last_beat) {
+        slot.last_beat = beat;
+        slot.last_change = now;
+        continue;
+      }
+      if (now - slot.last_change < opts_.hang_timeout) continue;
+
+      // No heartbeat for hang_timeout: declare the worker hung. The request
+      // is taken away (abandoned) and the attempt cancelled; the worker will
+      // eventually return and discard its result.
+      ++stats_.hangs_detected;
+      MLSIM_COUNTER_ADD(obs::names::kSvcHangsDetected, 1);
+      slot.abandoned = true;
+      slot.source.cancel(CancelReason::kHang);
+
+      StatePtr st = slot.active;
+      ++st->hang_requeues;
+      if (st->hang_requeues <= opts_.max_hang_requeues) {
+        // Requeue at the front of its priority class so the retry does not
+        // wait behind the backlog. This may transiently exceed
+        // queue_capacity; admission control only bounds new submissions.
+        ++stats_.hang_requeues;
+        MLSIM_COUNTER_ADD(obs::names::kSvcHangRequeues, 1);
+        queues_[static_cast<std::size_t>(st->req.priority)].push_front(st);
+        export_gauges_locked();
+        cv_.notify_one();
+      } else {
+        Response rsp;
+        rsp.status = ResponseStatus::kWorkerHung;
+        rsp.error = "worker hung (no heartbeat for " +
+                    std::to_string(opts_.hang_timeout.count()) +
+                    " ms) and the requeue budget (" +
+                    std::to_string(opts_.max_hang_requeues) + ") is exhausted";
+        resolve_locked(st, std::move(rsp));
+      }
+    }
+  }
+}
+
+void SimulationService::run_request(const RequestState& st,
+                                    const CancelToken& token, Response& rsp) {
+  const Request& req = st.req;
+  const bool use_primary = breaker_.allow_primary();
+  core::LatencyPredictor& pred = use_primary ? primary_ : fallback_;
+  bool primary_failed = false;
+
+  try {
+    switch (req.engine) {
+      case EngineKind::kParallel: {
+        check(req.trace != nullptr, "parallel request needs a trace");
+        core::ParallelSimOptions po;
+        po.num_subtraces = req.num_subtraces;
+        po.num_gpus = req.num_gpus;
+        po.context_length = req.context_length;
+        po.warmup = req.warmup ? req.context_length : 0;
+        po.post_error_correction = req.correction;
+        po.faults = req.faults;
+        po.fallback = &fallback_;
+        po.max_retries_per_partition = opts_.max_retries_per_partition;
+        po.cancel = &token;
+        core::ParallelSimulator sim(pred, po);
+        const auto r = sim.run(*req.trace);
+        rsp.total_cycles = r.total_cycles;
+        rsp.instructions = r.instructions;
+        rsp.cpi = r.cpi();
+        if (!r.degraded_partitions.empty()) {
+          rsp.degraded = true;
+          primary_failed = use_primary;  // anomaly guard fired on the primary
+        }
+        break;
+      }
+      case EngineKind::kGpu: {
+        check(req.trace != nullptr, "gpu request needs a trace");
+        device::Device dev;
+        core::GpuSimOptions go;
+        go.context_length = req.context_length;
+        go.cancel = &token;
+        core::GpuSimulator sim(pred, dev, go);
+        const auto out = sim.run(*req.trace);
+        rsp.total_cycles = out.cycles;
+        rsp.instructions = out.instructions;
+        rsp.cpi = out.cpi();
+        break;
+      }
+      case EngineKind::kSequential: {
+        check(req.trace != nullptr, "sequential request needs a trace");
+        core::SequentialSimOptions so;
+        so.context_length = req.context_length;
+        so.cancel = &token;
+        core::SequentialSimulator sim(pred, so);
+        const auto out = sim.run(*req.trace);
+        rsp.total_cycles = out.cycles;
+        rsp.instructions = out.instructions;
+        rsp.cpi = out.cpi();
+        break;
+      }
+      case EngineKind::kStreaming: {
+        check(!req.benchmark.empty(), "streaming request needs a benchmark");
+        check(req.stream_instructions > 0,
+              "streaming request needs stream_instructions > 0");
+        trace::LabeledTraceStream stream(trace::find_workload(req.benchmark));
+        const auto r = core::simulate_stream(pred, stream,
+                                             req.stream_instructions,
+                                             req.context_length,
+                                             std::size_t{1} << 14, &token);
+        rsp.total_cycles = r.predicted_cycles;
+        rsp.instructions = static_cast<std::size_t>(r.instructions);
+        rsp.cpi = r.cpi();
+        break;
+      }
+    }
+  } catch (...) {
+    // Cancellation/deadline/engine errors say nothing about predictor
+    // health: release the probe slot without a verdict.
+    if (use_primary) breaker_.record_no_verdict();
+    throw;
+  }
+
+  if (use_primary) {
+    if (primary_failed) {
+      breaker_.record_failure();
+    } else {
+      breaker_.record_success();
+    }
+  } else {
+    rsp.degraded = true;  // served by the fallback while the breaker is open
+  }
+}
+
+SimulationService::Stats SimulationService::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::size_t SimulationService::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return queued_locked();
+}
+
+std::size_t SimulationService::inflight() const {
+  std::lock_guard lk(mu_);
+  return busy_;
+}
+
+std::string SimulationService::health_json() const {
+  std::lock_guard lk(mu_);
+  const BreakerState bs = breaker_.state();
+  const std::size_t queued = queued_locked();
+  const char* status = "ok";
+  if (stopping_) {
+    status = "stopping";
+  } else if (queued >= opts_.queue_capacity) {
+    status = "overloaded";
+  } else if (bs != BreakerState::kClosed) {
+    status = "degraded";
+  }
+  std::ostringstream os;
+  os << "{\"status\":\"" << status << '"'
+     << ",\"workers\":" << slots_.size() << ",\"busy\":" << busy_
+     << ",\"queued\":" << queued
+     << ",\"queue_capacity\":" << opts_.queue_capacity
+     << ",\"max_outstanding\":" << max_outstanding_
+     << ",\"breaker\":\"" << to_string(bs) << '"'
+     << ",\"breaker_trips\":" << breaker_.trips()
+     << ",\"submitted\":" << stats_.submitted
+     << ",\"accepted\":" << stats_.accepted << ",\"rejected\":{"
+     << "\"queue_full\":" << stats_.rejected_queue_full
+     << ",\"overload\":" << stats_.rejected_overload
+     << ",\"shedding\":" << stats_.rejected_shedding << '}'
+     << ",\"completed\":" << stats_.completed
+     << ",\"failed\":" << stats_.failed
+     << ",\"deadline_exceeded\":" << stats_.deadline_exceeded
+     << ",\"cancelled\":" << stats_.cancelled << ",\"hung\":" << stats_.hung
+     << ",\"hangs_detected\":" << stats_.hangs_detected
+     << ",\"hang_requeues\":" << stats_.hang_requeues
+     << ",\"degraded\":" << stats_.degraded << '}';
+  return os.str();
+}
+
+}  // namespace mlsim::service

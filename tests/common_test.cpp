@@ -300,6 +300,47 @@ TEST(ThreadPool, SingleThreadDegradesToSerial) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPool, BoundedQueueRejectsPostAtCapacity) {
+  // A single-thread pool has no workers draining the queue, so occupancy is
+  // deterministic: two posts fill the bound, the third gets backpressure.
+  ThreadPool pool(1, 2);
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+  std::atomic<int> ran{0};
+  pool.post([&] { ran++; });
+  pool.post([&] { ran++; });
+  EXPECT_EQ(pool.pending(), 2u);
+  EXPECT_THROW(pool.post([&] { ran++; }), QueueFullError);
+  EXPECT_EQ(pool.queue_high_water(), 2u);
+  // Shutdown still drains every accepted task exactly once.
+}
+
+TEST(ThreadPool, BoundedQueueDrainsAcceptedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1, 2);
+    pool.post([&] { ran++; });
+    pool.post([&] { ran++; });
+    EXPECT_THROW(pool.post([&] { ran++; }), QueueFullError);
+  }
+  EXPECT_EQ(ran.load(), 2) << "accepted tasks run exactly once, rejected never";
+}
+
+TEST(ThreadPool, ParallelForSurvivesTinyQueueBound) {
+  // With a queue bound smaller than the chunk count, parallel_for falls back
+  // to running overflow chunks on the caller — full coverage either way.
+  ThreadPool pool(4, 1);
+  std::vector<std::atomic<int>> hits(500);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(0, 777, [&](std::size_t lo, std::size_t hi) {
+    total += hi - lo;
+  });
+  EXPECT_EQ(total.load(), 777u);
+  EXPECT_GE(pool.queue_high_water(), 1u);
+}
+
 // -------------------------------------------------------------- artifacts --
 
 TEST(Artifacts, DirectoryCreatedAndPathsCompose) {

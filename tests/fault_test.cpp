@@ -6,11 +6,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/artifacts.h"
 #include "common/check.h"
 #include "core/analytic_predictor.h"
 #include "core/checkpoint.h"
+#include "core/cnn_predictor.h"
 #include "core/parallel_sim.h"
 #include "core/suite.h"
 #include "device/fault.h"
@@ -386,6 +388,86 @@ TEST(Checkpoint, CorruptedCheckpointIsRejected) {
   ParallelSimulator revived(pred, ck);
   EXPECT_THROW(revived.run(tr), CheckError);
   fs::remove(ck.checkpoint_path);
+}
+
+TEST(Checkpoint, TruncatedCheckpointIsRejected) {
+  const trace::EncodedTrace tr = make_trace("mcf", 6000);
+  AnalyticPredictor pred;
+  device::FaultOptions fo;
+  fo.die_after_partition = 5;
+  const device::FaultInjector inj(fo);
+
+  ParallelSimOptions ck = base_options(12, 2);
+  ck.faults = &inj;
+  ck.checkpoint_path = temp_file("mlsim_fault_test_truncated.ckpt");
+  ParallelSimulator doomed(pred, ck);
+  EXPECT_THROW(doomed.run(tr), device::InjectedCrash);
+
+  // A torn write (power loss mid-rename on a non-atomic filesystem) leaves
+  // half a file behind; strict resume must refuse it.
+  const auto full = fs::file_size(ck.checkpoint_path);
+  ASSERT_GT(full, 2u);
+  fs::resize_file(ck.checkpoint_path, full / 2);
+  ck.resume = true;
+  ParallelSimulator revived(pred, ck);
+  EXPECT_THROW(revived.run(tr), CheckError);
+  fs::remove(ck.checkpoint_path);
+}
+
+TEST(Checkpoint, LenientResumeFallsBackToCleanStart) {
+  const trace::EncodedTrace tr = make_trace("mcf", 6000);
+  AnalyticPredictor pred;
+  const ParallelSimOptions plain = base_options(12, 2);
+  device::FaultOptions fo;
+  fo.die_after_partition = 5;
+  const device::FaultInjector inj(fo);
+
+  ParallelSimOptions ck = plain;
+  ck.faults = &inj;
+  ck.checkpoint_path = temp_file("mlsim_fault_test_lenient.ckpt");
+  ParallelSimulator doomed(pred, ck);
+  EXPECT_THROW(doomed.run(tr), device::InjectedCrash);
+  fs::resize_file(ck.checkpoint_path, fs::file_size(ck.checkpoint_path) / 2);
+
+  // Unattended-service mode: the torn checkpoint is recorded, not fatal, and
+  // the clean start is bit-identical to a run that never checkpointed. The
+  // process restarted, so the one-shot death trigger is gone — starting from
+  // partition 0 it would otherwise just fire again.
+  ck.faults = nullptr;
+  ck.resume = true;
+  ck.resume_lenient = true;
+  ParallelSimulator revived(pred, ck);
+  const auto got = revived.run(tr);
+  EXPECT_FALSE(got.resumed);
+  EXPECT_FALSE(got.resume_error.empty()) << "rejection reason must be recorded";
+
+  ParallelSimulator bare(pred, plain);
+  const auto want = bare.run(tr);
+  expect_identical(want, got);
+  EXPECT_FALSE(fs::exists(ck.checkpoint_path));
+}
+
+// ---- predictor output guard -------------------------------------------------
+
+TEST(CnnPredictor, DecodeGuardsNonFiniteOutputs) {
+  // A poisoned model or sick inference backend emits NaN/Inf floats; decode
+  // must map them (and absurd finite magnitudes) to the sentinel that trips
+  // the anomaly guard rather than wrapping to an arbitrary latency.
+  EXPECT_EQ(CnnPredictor::decode(std::numeric_limits<float>::quiet_NaN()),
+            CnnPredictor::kNonFiniteLatency);
+  EXPECT_EQ(CnnPredictor::decode(std::numeric_limits<float>::infinity()),
+            CnnPredictor::kNonFiniteLatency);
+  EXPECT_EQ(CnnPredictor::decode(-std::numeric_limits<float>::infinity()),
+            CnnPredictor::kNonFiniteLatency);
+  EXPECT_EQ(CnnPredictor::decode(1e30f), CnnPredictor::kNonFiniteLatency);
+
+  // The sentinel itself trips the parallel engine's default anomaly guard.
+  EXPECT_GT(CnnPredictor::kNonFiniteLatency, ParallelSimOptions{}.anomaly_latency_limit);
+
+  // Sane outputs still round-trip to small non-negative latencies.
+  EXPECT_EQ(CnnPredictor::decode(-5.0f), 0u);
+  EXPECT_LT(CnnPredictor::decode(0.0f), CnnPredictor::kNonFiniteLatency);
+  EXPECT_LT(CnnPredictor::decode(7.3f), 1u << 12);  // expm1(7.3) ~ 1480
 }
 
 // ---- suite checkpoint -------------------------------------------------------

@@ -1,0 +1,128 @@
+// Chaos soak for the resilient simulation service (ISSUE acceptance
+// criterion): a sustained burst of mixed-priority requests against a small
+// worker pool while the fault injector kills devices, corrupts inference
+// outputs, and hangs workers at >= 10% rates, with tight deadlines mixed in.
+//
+// The service must neither crash nor deadlock, every submitted request must
+// resolve to exactly one *typed* response, and every request that completes
+// must report a CPI bit-identical to a fault-free run — fault tolerance may
+// cost time, never accuracy.
+//
+// Registered with ctest label `soak` (tests/CMakeLists.txt) so the slow
+// chaos run can be included or excluded explicitly (`ctest -L soak`).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/analytic_predictor.h"
+#include "core/parallel_sim.h"
+#include "device/fault.h"
+#include "service/request.h"
+#include "service/service.h"
+#include "trace/trace.h"
+#include "uarch/ground_truth.h"
+
+namespace mlsim::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ServiceSoak, ChaosRunResolvesEveryRequestTyped) {
+  const trace::EncodedTrace tr =
+      uarch::make_encoded_trace(trace::find_workload("mcf"), 6000, {}, 1);
+  core::AnalyticPredictor primary, fallback;
+
+  // Fault-free reference: completed chaos requests must match it exactly.
+  core::ParallelSimOptions ref_opts;
+  ref_opts.num_subtraces = 4;
+  ref_opts.num_gpus = 1;
+  ref_opts.context_length = 16;
+  ref_opts.warmup = 16;
+  ref_opts.post_error_correction = true;
+  const auto want = core::ParallelSimulator(primary, ref_opts).run(tr);
+
+  // >= 10% of everything, per the acceptance criterion.
+  device::FaultOptions fo;
+  fo.seed = 20220613;  // paper-year seed; any value must work
+  fo.device_kill_rate = 0.15;
+  fo.output_corrupt_rate = 0.15;
+  fo.straggler_rate = 0.15;
+  const device::FaultInjector inj(fo);
+
+  ServiceOptions so;
+  so.num_workers = 3;
+  so.queue_capacity = 6;
+  so.shed_fraction = 0.75;
+  so.hang_timeout = 80ms;
+  so.watchdog_interval = 15ms;
+  so.max_hang_requeues = 2;
+  so.breaker.failure_threshold = 3;
+  so.breaker.open_cooldown = 2;
+  SimulationService svc(primary, fallback, so);
+
+  constexpr int kRequests = 30;
+  std::vector<SimulationService::Ticket> tickets;
+  tickets.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    Request rq;
+    rq.trace = &tr;
+    rq.engine = EngineKind::kParallel;
+    rq.priority = static_cast<Priority>(i % kNumPriorities);
+    rq.faults = &inj;
+    // Stall longer than hang_timeout: a flagged straggler attempt is a real
+    // hang the watchdog must catch, not just a slow request.
+    rq.straggler_stall = 200ms;
+    if (i % 5 == 4) rq.deadline = 50ms;  // some requests carry tight deadlines
+    tickets.push_back(svc.submit(std::move(rq)));
+    if (i % 4 == 3) std::this_thread::sleep_for(10ms);  // bursty, not uniform
+  }
+
+  // No deadlock: every future resolves well within the generous budget.
+  int completed = 0;
+  for (auto& t : tickets) {
+    ASSERT_EQ(t.future.wait_for(120s), std::future_status::ready)
+        << "request " << t.id << " never resolved (deadlock or lost future)";
+    const Response r = t.future.get();
+    switch (r.status) {
+      case ResponseStatus::kCompleted:
+        ++completed;
+        // Chaos costs retries and requeues, never accuracy.
+        EXPECT_EQ(r.total_cycles, want.total_cycles) << "request " << r.id;
+        EXPECT_EQ(r.instructions, want.instructions) << "request " << r.id;
+        EXPECT_DOUBLE_EQ(r.cpi, want.cpi()) << "request " << r.id;
+        break;
+      case ResponseStatus::kRejectedQueueFull:
+      case ResponseStatus::kRejectedOverload:
+      case ResponseStatus::kRejectedShedding:
+      case ResponseStatus::kDeadlineExceeded:
+      case ResponseStatus::kWorkerHung:
+        EXPECT_FALSE(r.error.empty()) << to_string(r.status);
+        break;
+      case ResponseStatus::kCancelled:
+      case ResponseStatus::kFailed:
+        FAIL() << "request " << r.id << " resolved " << to_string(r.status)
+               << ": " << r.error;
+    }
+  }
+  EXPECT_GT(completed, 0) << "chaos shed every single request";
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(st.accepted + st.rejected(), st.submitted)
+      << "every submission must be either accepted or rejected, never lost";
+  EXPECT_EQ(st.completed + st.failed + st.deadline_exceeded + st.cancelled +
+                st.hung,
+            st.accepted)
+      << "every accepted request must resolve exactly once";
+
+  // The service is still healthy after the storm and shuts down cleanly.
+  const std::string health = svc.health_json();
+  EXPECT_NE(health.find("\"status\":"), std::string::npos);
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace mlsim::service
