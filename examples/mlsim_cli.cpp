@@ -33,6 +33,23 @@
 //       simulation pipelined chunk by chunk) — the mode for very long
 //       programs that cannot be materialised.
 //
+//   mlsim_cli coordinator <benchmark|trace.bin> [instructions]
+//              [--port=N] [--workers=W] [--heartbeat-ms=M] [--timeout-ms=T]
+//              [--parallel=P] [--gpus=G] [--context=C] [--no-recovery]
+//              [--fault-worker-kill=R] [--fault-seed=S] [--verify]
+//       Run one distributed parallel simulation as the cluster coordinator
+//       (docs/DISTRIBUTED.md): bind 127.0.0.1:<port> (0 = ephemeral, the
+//       bound port is printed), wait for --workers workers, dispatch shard
+//       descriptors, recover in-flight shards from dead/hung workers, and
+//       merge. --fault-worker-kill simulates whole-worker kills at rate R;
+//       --verify reruns in-process and asserts the merged CPI is
+//       bit-identical.
+//
+//   mlsim_cli worker --connect=host:port [--heartbeat-ms=M] [--no-reconnect]
+//       Join a coordinator as one worker process and compute shards until
+//       shut down. With --no-reconnect a simulated worker kill is final
+//       (the process exits) instead of rejoining like a supervised restart.
+//
 //   mlsim_cli serve <benchmark|trace.bin> [instructions] [--requests=N]
 //              [--workers=W] [--queue=Q] [--parallel=P] [--deadline-ms=D]
 //              [--fault-kill=R] [--fault-corrupt=R] [--fault-straggler=R]
@@ -75,6 +92,9 @@
 #include "core/streaming.h"
 #include "core/suite.h"
 #include "device/fault.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "net/socket.h"
 #include "obs/obs.h"
 #include "service/service.h"
 #include "trace/stream.h"
@@ -492,6 +512,179 @@ int cmd_stream(int argc, char** argv) {
   return 0;
 }
 
+/// A TCP port flag: strict decimal, within [0, 65535] (0 = ephemeral).
+std::uint16_t parse_port(const char* what, const std::string& text) {
+  const std::uint64_t v = parse_u64(what, text);
+  if (v > 65535) {
+    throw UsageError(std::string(what) + ": '" + text +
+                     "' is not a TCP port (0-65535)");
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+/// A count/interval flag that must be at least 1.
+std::uint64_t parse_positive(const char* what, const std::string& text) {
+  const std::uint64_t v = parse_u64(what, text);
+  if (v == 0) {
+    throw UsageError(std::string(what) + ": '" + text + "' must be >= 1");
+  }
+  return v;
+}
+
+int cmd_coordinator(int argc, char** argv) {
+  ObsFlags obs_flags;
+  std::vector<std::string> pos;
+  std::uint16_t port = 0;
+  std::size_t min_workers = 1, parallel = 4, gpus = 1, context = 64;
+  int heartbeat_timeout_ms = 2000, run_timeout_ms = 120000;
+  bool recovery = true, verify = false;
+  device::FaultOptions fault;
+  fault.seed = 1;
+  bool any_fault = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (parse_obs_flag(s, obs_flags)) continue;
+    if (s.rfind("--port=", 0) == 0) {
+      port = parse_port("--port", s.substr(7));
+    } else if (s.rfind("--workers=", 0) == 0) {
+      min_workers =
+          static_cast<std::size_t>(parse_positive("--workers", s.substr(10)));
+    } else if (s.rfind("--heartbeat-ms=", 0) == 0) {
+      heartbeat_timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_positive("--heartbeat-ms", s.substr(15)),
+          std::numeric_limits<int>::max()));
+    } else if (s.rfind("--timeout-ms=", 0) == 0) {
+      run_timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_u64("--timeout-ms", s.substr(13)),
+          std::numeric_limits<int>::max()));
+    } else if (s.rfind("--parallel=", 0) == 0) {
+      parallel = parse_size("--parallel", s.substr(11));
+    } else if (s.rfind("--gpus=", 0) == 0) {
+      gpus = parse_size("--gpus", s.substr(7));
+    } else if (s.rfind("--context=", 0) == 0) {
+      context = parse_size("--context", s.substr(10));
+    } else if (s == "--no-recovery") {
+      recovery = false;
+    } else if (s.rfind("--fault-worker-kill=", 0) == 0) {
+      fault.worker_kill_rate = parse_rate("--fault-worker-kill", s.substr(20));
+      any_fault = true;
+    } else if (s.rfind("--fault-seed=", 0) == 0) {
+      fault.seed = parse_u64("--fault-seed", s.substr(13));
+    } else if (s == "--verify") {
+      verify = true;
+    } else if (!s.empty() && s[0] != '-') {
+      pos.push_back(s);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+  }
+  if (pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: mlsim_cli coordinator <benchmark|trace.bin> "
+                 "[instructions] [--port=N] [--workers=W] [--heartbeat-ms=M] "
+                 "[--timeout-ms=T] [--parallel=P] [--gpus=G] [--context=C] "
+                 "[--no-recovery] [--fault-worker-kill=R] [--fault-seed=S] "
+                 "[--verify] [--metrics[=path]] [--trace-out=file.json]\n");
+    return 2;
+  }
+  const std::size_t n =
+      pos.size() > 1 ? parse_size("[instructions]", pos[1]) : 20000;
+  enable_obs(obs_flags);
+  const auto tr = acquire(pos[0], n);
+
+  core::MLSimulator::Options mopts;
+  mopts.context_length = context;
+  core::MLSimulator sim(mopts);
+  core::ParallelSimOptions po =
+      sim.parallel_options(parallel, gpus, recovery, recovery);
+  const device::FaultInjector injector(fault);
+  if (any_fault) po.faults = &injector;
+
+  dist::CoordinatorOptions co;
+  co.min_workers = min_workers;
+  co.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  co.run_timeout_ms = run_timeout_ms;
+  dist::DistCoordinator coord(net::TcpListener::bind(port), co);
+  std::printf("coordinator listening on 127.0.0.1:%u — waiting for %zu "
+              "worker(s); join with:\n  mlsim_cli worker "
+              "--connect=127.0.0.1:%u\n",
+              coord.port(), min_workers, coord.port());
+  std::fflush(stdout);
+
+  const auto out = coord.run(tr, po);
+  const auto& st = coord.stats();
+  std::printf("distributed (%zu sub-traces, %zu GPU blocks): CPI %.4f | "
+              "err vs truth %+.2f%% | %.2f MIPS (modeled) | corrected %zu\n",
+              parallel, gpus, out.cpi(),
+              tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
+              out.mips(), out.corrected_instructions);
+  std::printf("cluster: %zu joined | %zu lost | %zu dispatched | "
+              "%zu reassigned | %zu duplicates dropped | %zu heartbeats\n",
+              st.workers_joined, st.workers_lost, st.shards_dispatched,
+              st.reassignments, st.duplicates_dropped, st.heartbeats);
+  if (verify) {
+    const auto local = sim.simulate_parallel(tr, po);
+    const bool same = local.total_cycles == out.total_cycles &&
+                      local.corrected_instructions == out.corrected_instructions;
+    std::printf("verify vs in-process: local CPI %.6f, distributed CPI %.6f "
+                "— %s\n", local.cpi(), out.cpi(),
+                same ? "bit-identical" : "MISMATCH");
+    if (!same) {
+      throw CheckError("distributed result diverged from the in-process "
+                       "engine");
+    }
+  }
+  coord.shutdown_workers();
+  finish_obs(obs_flags);
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  dist::WorkerConfig cfg;
+  bool have_endpoint = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    std::string endpoint;
+    if (s.rfind("--connect=", 0) == 0) {
+      endpoint = s.substr(10);
+    } else if (s.rfind("--heartbeat-ms=", 0) == 0) {
+      cfg.heartbeat_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_positive("--heartbeat-ms", s.substr(15)),
+          std::numeric_limits<int>::max()));
+      continue;
+    } else if (s == "--no-reconnect") {
+      cfg.reconnect_after_kill = false;
+      continue;
+    } else if (!s.empty() && s[0] != '-') {
+      endpoint = s;  // bare host:port positional
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+    const auto hp = net::parse_host_port(endpoint);
+    if (!hp.has_value()) {
+      throw UsageError("--connect: '" + endpoint +
+                       "' is not a valid host:port endpoint");
+    }
+    cfg.host = hp->host;
+    cfg.port = hp->port;
+    have_endpoint = true;
+  }
+  if (!have_endpoint) {
+    std::fprintf(stderr, "usage: mlsim_cli worker --connect=host:port "
+                         "[--heartbeat-ms=M] [--no-reconnect]\n");
+    return 2;
+  }
+  std::printf("worker joining %s:%u\n", cfg.host.c_str(), cfg.port);
+  std::fflush(stdout);
+  const auto st = dist::run_worker(cfg);
+  std::printf("worker done: %zu shard(s) computed across %zu session(s), "
+              "%zu simulated kill(s)\n",
+              st.shards_computed, st.sessions, st.kills_simulated);
+  return 0;
+}
+
 /// Soak the resilient service: a burst of requests across all priority
 /// classes, optionally under chaos (fault injection + real worker stalls),
 /// with every typed outcome tallied at the end.
@@ -610,7 +803,8 @@ int cmd_serve(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mlsim_cli <trace|simulate|suite|rates|stream|serve> ...\n");
+                 "usage: mlsim_cli <trace|simulate|suite|rates|stream|serve|"
+                 "coordinator|worker> ...\n");
     return 2;
   }
   // Distinct exit codes per failure class so scripts and the test harness
@@ -624,6 +818,8 @@ int main(int argc, char** argv) {
     if (cmd == "rates") return cmd_rates(argc, argv);
     if (cmd == "stream") return cmd_stream(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "coordinator") return cmd_coordinator(argc, argv);
+    if (cmd == "worker") return cmd_worker(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const UsageError& e) {

@@ -1,0 +1,59 @@
+#include "common/wire.h"
+
+#include <fstream>
+
+#include "common/artifacts.h"
+
+namespace mlsim::wire {
+
+std::string seal(std::uint32_t magic, std::string_view payload) {
+  Writer head;
+  head.pod(magic);
+  head.pod(kWireVersion);
+  head.pod(fnv1a64(payload.data(), payload.size()));
+  head.pod(static_cast<std::uint64_t>(payload.size()));
+  std::string out = head.take();
+  out.append(payload);
+  return out;
+}
+
+std::string_view unseal(std::uint32_t magic, std::string_view enveloped,
+                        const std::string& context) {
+  check(enveloped.size() >= kEnvelopeBytes,
+        "envelope too small for its header: " + context);
+  Reader head(enveloped.data(), kEnvelopeBytes, context);
+  check(head.pod<std::uint32_t>() == magic,
+        "bad envelope magic (wrong file or corrupted): " + context);
+  check(head.pod<std::uint32_t>() == kWireVersion,
+        "unsupported envelope version: " + context);
+  const auto sum = head.pod<std::uint64_t>();
+  const auto payload_size = head.pod<std::uint64_t>();
+  check(payload_size == enveloped.size() - kEnvelopeBytes,
+        "envelope payload length mismatch (torn write?): " + context);
+  const std::string_view payload = enveloped.substr(kEnvelopeBytes);
+  check(fnv1a64(payload.data(), payload.size()) == sum,
+        "envelope checksum mismatch (corrupted): " + context);
+  return payload;
+}
+
+void write_envelope_file(const std::filesystem::path& path, std::uint32_t magic,
+                         std::string_view payload) {
+  write_file_atomic(path, seal(magic, payload));
+}
+
+bool read_envelope_file(const std::filesystem::path& path, std::uint32_t magic,
+                        std::string& payload) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return false;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("cannot stat enveloped file: " + path.string());
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) throw IoError("cannot open enveloped file: " + path.string());
+  std::string all(size, '\0');
+  is.read(all.data(), static_cast<std::streamsize>(size));
+  check(static_cast<bool>(is), "read failed on enveloped file: " + path.string());
+  payload = std::string(unseal(magic, all, path.string()));
+  return true;
+}
+
+}  // namespace mlsim::wire

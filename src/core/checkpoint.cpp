@@ -1,131 +1,22 @@
 #include "core/checkpoint.h"
 
-#include <cstring>
-#include <fstream>
-
-#include "common/artifacts.h"
 #include "common/check.h"
+#include "common/wire.h"
 
 namespace mlsim::core {
 
 namespace {
 
+// File format (unchanged since v1): the shared wire envelope
+// (magic | version | checksum | size | payload — src/common/wire.h) around a
+// Writer-serialized payload. The same envelope frames the distributed
+// cluster's RPC messages, so disk and socket corruption are caught by one
+// code path.
 constexpr std::uint32_t kParallelMagic = 0x4d4c434b;  // "MLCK"
 constexpr std::uint32_t kSuiteMagic = 0x4d4c4353;     // "MLCS"
-constexpr std::uint32_t kCkptVersion = 1;
 
-// Append-only little-endian serializer; the final file is
-//   magic | version | payload_checksum | payload_size | payload
-// so any torn write is caught by the length/checksum pair before a single
-// payload field is trusted.
-class Writer {
- public:
-  template <typename T>
-  void pod(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const char*>(&v);
-    buf_.append(p, sizeof(T));
-  }
-  template <typename T>
-  void vec(const std::vector<T>& v) {
-    pod(static_cast<std::uint64_t>(v.size()));
-    static_assert(std::is_trivially_copyable_v<T>);
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
-  }
-  void str(const std::string& s) {
-    pod(static_cast<std::uint64_t>(s.size()));
-    buf_.append(s);
-  }
-  const std::string& bytes() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-class Reader {
- public:
-  Reader(const char* data, std::size_t size, std::string context)
-      : p_(data), end_(data + size), context_(std::move(context)) {}
-
-  template <typename T>
-  T pod() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    need(sizeof(T));
-    T v;
-    std::memcpy(&v, p_, sizeof(T));
-    p_ += sizeof(T);
-    return v;
-  }
-  template <typename T>
-  std::vector<T> vec() {
-    const auto count = pod<std::uint64_t>();
-    need(count * sizeof(T));
-    std::vector<T> v(count);
-    std::memcpy(v.data(), p_, count * sizeof(T));
-    p_ += count * sizeof(T);
-    return v;
-  }
-  std::string str() {
-    const auto len = pod<std::uint64_t>();
-    need(len);
-    std::string s(p_, len);
-    p_ += len;
-    return s;
-  }
-  void finish() const {
-    check(p_ == end_, "checkpoint has trailing bytes: " + context_);
-  }
-
- private:
-  void need(std::uint64_t bytes) const {
-    check(static_cast<std::uint64_t>(end_ - p_) >= bytes,
-          "checkpoint truncated: " + context_);
-  }
-  const char* p_;
-  const char* end_;
-  std::string context_;
-};
-
-void write_envelope(const std::filesystem::path& path, std::uint32_t magic,
-                    const std::string& payload) {
-  Writer head;
-  head.pod(magic);
-  head.pod(kCkptVersion);
-  head.pod(fnv1a64(payload.data(), payload.size()));
-  head.pod(static_cast<std::uint64_t>(payload.size()));
-  write_file_atomic(path, head.bytes() + payload);
-}
-
-/// Returns the verified payload, or false via the out-param path when the
-/// file does not exist.
-bool read_envelope(const std::filesystem::path& path, std::uint32_t magic,
-                   std::string& payload) {
-  std::error_code ec;
-  if (!std::filesystem::exists(path, ec) || ec) return false;
-  const std::uint64_t size = std::filesystem::file_size(path, ec);
-  if (ec) throw IoError("cannot stat checkpoint: " + path.string());
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) throw IoError("cannot open checkpoint: " + path.string());
-  std::string all(size, '\0');
-  is.read(all.data(), static_cast<std::streamsize>(size));
-  check(static_cast<bool>(is), "read failed on checkpoint: " + path.string());
-  Reader head(all.data(), all.size(), path.string());
-  constexpr std::size_t kEnvelopeBytes = 4 + 4 + 8 + 8;
-  check(all.size() >= kEnvelopeBytes,
-        "checkpoint too small for its envelope: " + path.string());
-  check(head.pod<std::uint32_t>() == magic,
-        "bad checkpoint magic (wrong file or corrupted): " + path.string());
-  check(head.pod<std::uint32_t>() == kCkptVersion,
-        "unsupported checkpoint version: " + path.string());
-  const auto sum = head.pod<std::uint64_t>();
-  const auto payload_size = head.pod<std::uint64_t>();
-  check(payload_size == all.size() - kEnvelopeBytes,
-        "checkpoint payload length mismatch (torn write?): " + path.string());
-  payload = all.substr(kEnvelopeBytes);
-  check(fnv1a64(payload.data(), payload.size()) == sum,
-        "checkpoint checksum mismatch (corrupted): " + path.string());
-  return true;
-}
+using wire::Reader;
+using wire::Writer;
 
 }  // namespace
 
@@ -153,12 +44,12 @@ void save_checkpoint(const std::filesystem::path& path,
   w.vec(ck.gpu_lost);
   w.vec(ck.predictions);
   w.vec(ck.context_counts);
-  write_envelope(path, kParallelMagic, w.bytes());
+  wire::write_envelope_file(path, kParallelMagic, w.bytes());
 }
 
 bool load_checkpoint(const std::filesystem::path& path, ParallelCheckpoint& ck) {
   std::string payload;
-  if (!read_envelope(path, kParallelMagic, payload)) return false;
+  if (!wire::read_envelope_file(path, kParallelMagic, payload)) return false;
   Reader r(payload.data(), payload.size(), path.string());
   ck.fingerprint = r.pod<std::uint64_t>();
   ck.next_partition = r.pod<std::uint64_t>();
@@ -203,12 +94,12 @@ void save_checkpoint(const std::filesystem::path& path,
     w.pod(j.sim_time_us);
     w.pod(j.instructions);
   }
-  write_envelope(path, kSuiteMagic, w.bytes());
+  wire::write_envelope_file(path, kSuiteMagic, w.bytes());
 }
 
 bool load_checkpoint(const std::filesystem::path& path, SuiteCheckpoint& ck) {
   std::string payload;
-  if (!read_envelope(path, kSuiteMagic, payload)) return false;
+  if (!wire::read_envelope_file(path, kSuiteMagic, payload)) return false;
   Reader r(payload.data(), payload.size(), path.string());
   ck.fingerprint = r.pod<std::uint64_t>();
   const auto count = r.pod<std::uint64_t>();

@@ -1,63 +1,15 @@
 #include "core/parallel_sim.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/stats.h"
 #include "core/checkpoint.h"
+#include "core/shard.h"
 #include "obs/obs.h"
 
 namespace mlsim::core {
-
-namespace {
-
-/// Identity of a (trace, options) pair for checkpoint compatibility: a
-/// checkpoint may only be resumed into the exact run that wrote it.
-/// `die_after_partition` is deliberately excluded (see device/fault.h) — the
-/// resumed run is the same run minus the process death.
-std::uint64_t run_fingerprint(const trace::EncodedTrace& tr,
-                              const ParallelSimOptions& o, std::size_t parts) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ull;
-  };
-  auto mixd = [&](double d) { mix(std::bit_cast<std::uint64_t>(d)); };
-  mix(tr.size());
-  for (const char c : tr.benchmark()) mix(static_cast<unsigned char>(c));
-  if (tr.size() > 0) {
-    for (const std::int32_t v : tr.features(0)) {
-      mix(static_cast<std::uint32_t>(v));
-    }
-    for (const std::int32_t v : tr.features(tr.size() - 1)) {
-      mix(static_cast<std::uint32_t>(v));
-    }
-  }
-  mix(parts);
-  mix(o.num_gpus);
-  mix(o.context_length);
-  mix(o.warmup);
-  mix(o.post_error_correction ? 1 : 0);
-  mix(o.correction_limit);
-  mix(o.record_predictions ? 1 : 0);
-  mix(o.record_context_counts ? 1 : 0);
-  mix(o.anomaly_latency_limit);
-  mix(o.max_retries_per_partition);
-  mixd(o.retry_backoff_us);
-  if (o.faults != nullptr && o.faults->enabled()) {
-    const device::FaultOptions& f = o.faults->options();
-    mix(f.seed);
-    mixd(f.device_kill_rate);
-    mixd(f.straggler_rate);
-    mixd(f.straggler_slowdown);
-    mixd(f.output_corrupt_rate);
-  }
-  return h;
-}
-
-}  // namespace
 
 ParallelSimulator::ParallelSimulator(LatencyPredictor& predictor,
                                      ParallelSimOptions opts)
@@ -141,44 +93,13 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
 
   MLSIM_TRACE_SPAN("parallel_sim/run");
 
-  const std::size_t P = std::min(opts_.num_subtraces, n);
-  const std::size_t G = std::min(opts_.num_gpus, P);
-  const std::size_t per_gpu = (P + G - 1) / G;  // partitions per GPU (block)
-  const std::size_t rows = opts_.context_length + 1;
+  const ShardPlan plan = ShardPlan::make(n, opts_);
+  const std::size_t P = plan.parts;
+  const std::size_t G = plan.gpus;
   const std::size_t cap = opts_.context_length;  // retire-ring capacity
+  res.boundaries = plan.boundaries;
 
-  res.boundaries = partition_boundaries(n, P);
-  auto gpu_of = [&](std::size_t p) { return p / per_gpu; };
-
-  const device::FaultInjector* faults =
-      (opts_.faults != nullptr && opts_.faults->enabled()) ? opts_.faults
-                                                           : nullptr;
-  const std::uint32_t limit = opts_.anomaly_latency_limit;
-
-  std::vector<std::uint32_t> fetch_lat(n, 0);
-  if (opts_.record_predictions) res.predictions.resize(n);
-  if (opts_.record_context_counts) res.context_counts.resize(n, 0);
-
-  // Initial context counts for partition heads (correction's termination
-  // reference).
-  const bool correcting = opts_.post_error_correction;
-  std::vector<std::vector<std::uint16_t>> head_counts;
-  if (correcting) head_counts.resize(P);
-
-  std::vector<std::uint64_t> partition_cycles(P, 0);
-  std::vector<std::size_t> partition_steps(P, 0);  // incl. warmup + corrections
-  std::vector<std::size_t> partition_wasted(P, 0); // burnt by failed attempts
-  std::vector<std::uint32_t> final_attempt(P, 0);  // successful attempt index
-  std::vector<std::uint8_t> degraded(P, 0);        // running on the fallback
-  std::vector<std::uint8_t> failed(P, 0);          // hit by a device kill
-  std::vector<std::uint8_t> gpu_lost(G, 0);        // slots killed mid-run
-  std::vector<std::uint64_t> ring(cap, 0);
-  std::vector<std::uint64_t> prev_ring;  // end-of-previous-partition snapshot
-  std::uint64_t prev_clock = 0;
-  std::size_t prev_oldest = 0;
-
-  RunningStats occupancy;  // sampled context occupancy (drives the cost model)
-  double backoff_us = 0.0;
+  ShardEngine engine(predictor_, trace, opts_, plan);
   std::size_t start_p = 0;
 
   const std::uint64_t fp = run_fingerprint(trace, opts_, P);
@@ -218,40 +139,41 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
     }
     if (have_checkpoint) {
       start_p = ck.next_partition;
-      res.warmup_instructions = ck.warmup_instructions;
-      res.corrected_instructions = ck.corrected_instructions;
-      res.retries = ck.retries;
-      backoff_us = ck.backoff_us;
-      occupancy = RunningStats::restore(ck.occupancy);
-      prev_clock = ck.prev_clock;
-      prev_oldest = ck.prev_oldest;
-      prev_ring = ck.prev_ring;
+      engine.warmup_instructions = ck.warmup_instructions;
+      engine.corrected_instructions = ck.corrected_instructions;
+      engine.retries = ck.retries;
+      engine.backoff_us = ck.backoff_us;
+      engine.occupancy = RunningStats::restore(ck.occupancy);
+      engine.prev_clock = ck.prev_clock;
+      engine.prev_oldest = ck.prev_oldest;
+      engine.prev_ring = ck.prev_ring;
       std::copy(ck.partition_cycles.begin(), ck.partition_cycles.end(),
-                partition_cycles.begin());
+                engine.partition_cycles.begin());
       for (std::size_t p = 0; p < P; ++p) {
-        partition_steps[p] = ck.partition_steps[p];
-        partition_wasted[p] = ck.partition_wasted[p];
-        final_attempt[p] = ck.final_attempt[p];
+        engine.partition_steps[p] = ck.partition_steps[p];
+        engine.partition_wasted[p] = ck.partition_wasted[p];
+        engine.final_attempt[p] = ck.final_attempt[p];
       }
       for (const std::uint64_t p : ck.failed_partitions) {
-        failed[p] = 1;
-        res.failed_partitions.push_back(p);
+        engine.failed[p] = 1;
+        engine.failed_list.push_back(p);
       }
       for (const std::uint64_t p : ck.degraded_partitions) {
-        degraded[p] = 1;
-        res.degraded_partitions.push_back(p);
+        engine.degraded[p] = 1;
+        engine.degraded_list.push_back(p);
       }
-      gpu_lost = ck.gpu_lost;
+      engine.gpu_lost = ck.gpu_lost;
       const std::size_t prefix = res.boundaries[start_p];
       if (opts_.record_predictions) {
         for (std::size_t i = 0; i < prefix; ++i) {
-          res.predictions[i] = {ck.predictions[3 * i], ck.predictions[3 * i + 1],
-                                ck.predictions[3 * i + 2]};
+          engine.predictions[i] = {ck.predictions[3 * i],
+                                   ck.predictions[3 * i + 1],
+                                   ck.predictions[3 * i + 2]};
         }
       }
       if (opts_.record_context_counts) {
         std::copy(ck.context_counts.begin(), ck.context_counts.end(),
-                  res.context_counts.begin());
+                  engine.context_counts.begin());
       }
       res.resumed = true;
     }
@@ -263,206 +185,48 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
     ck.next_partition = next_p;
     ck.num_partitions = P;
     ck.ring_capacity = cap;
-    ck.warmup_instructions = res.warmup_instructions;
-    ck.corrected_instructions = res.corrected_instructions;
-    ck.retries = res.retries;
-    ck.backoff_us = backoff_us;
-    ck.occupancy = occupancy.state();
-    ck.prev_clock = prev_clock;
-    ck.prev_oldest = prev_oldest;
-    ck.prev_ring = prev_ring;
-    ck.partition_cycles = partition_cycles;
-    ck.partition_steps.assign(partition_steps.begin(), partition_steps.end());
-    ck.partition_wasted.assign(partition_wasted.begin(), partition_wasted.end());
-    ck.final_attempt = final_attempt;
-    ck.failed_partitions.assign(res.failed_partitions.begin(),
-                                res.failed_partitions.end());
-    ck.degraded_partitions.assign(res.degraded_partitions.begin(),
-                                  res.degraded_partitions.end());
-    ck.gpu_lost = gpu_lost;
+    ck.warmup_instructions = engine.warmup_instructions;
+    ck.corrected_instructions = engine.corrected_instructions;
+    ck.retries = engine.retries;
+    ck.backoff_us = engine.backoff_us;
+    ck.occupancy = engine.occupancy.state();
+    ck.prev_clock = engine.prev_clock;
+    ck.prev_oldest = engine.prev_oldest;
+    ck.prev_ring = engine.prev_ring;
+    ck.partition_cycles = engine.partition_cycles;
+    ck.partition_steps.assign(engine.partition_steps.begin(),
+                              engine.partition_steps.end());
+    ck.partition_wasted.assign(engine.partition_wasted.begin(),
+                               engine.partition_wasted.end());
+    ck.final_attempt = engine.final_attempt;
+    ck.failed_partitions.assign(engine.failed_list.begin(),
+                                engine.failed_list.end());
+    ck.degraded_partitions.assign(engine.degraded_list.begin(),
+                                  engine.degraded_list.end());
+    ck.gpu_lost = engine.gpu_lost;
     const std::size_t prefix = res.boundaries[next_p];
     if (opts_.record_predictions) {
       ck.predictions.reserve(3 * prefix);
       for (std::size_t i = 0; i < prefix; ++i) {
-        ck.predictions.push_back(res.predictions[i].fetch);
-        ck.predictions.push_back(res.predictions[i].exec);
-        ck.predictions.push_back(res.predictions[i].store);
+        ck.predictions.push_back(engine.predictions[i].fetch);
+        ck.predictions.push_back(engine.predictions[i].exec);
+        ck.predictions.push_back(engine.predictions[i].store);
       }
     }
     if (opts_.record_context_counts) {
-      ck.context_counts.assign(res.context_counts.begin(),
-                               res.context_counts.begin() +
+      ck.context_counts.assign(engine.context_counts.begin(),
+                               engine.context_counts.begin() +
                                    static_cast<std::ptrdiff_t>(prefix));
     }
     save_checkpoint(opts_.checkpoint_path, ck);
     MLSIM_COUNTER_ADD(obs::names::kParSimCheckpointWrites, 1);
   };
 
-  // Charge one exponential-backoff step and consume one unit of the retry
-  // budget; throws CheckError once the partition is out of budget.
-  auto charge_retry = [&](std::size_t part, std::size_t& attempt,
-                          const char* why) {
-    check(attempt < opts_.max_retries_per_partition,
-          "partition " + std::to_string(part) + " retry budget (" +
-              std::to_string(opts_.max_retries_per_partition) +
-              ") exhausted; last failure: " + why);
-    backoff_us +=
-        opts_.retry_backoff_us * std::ldexp(1.0, static_cast<int>(attempt));
-    ++res.retries;
-    ++attempt;
-    MLSIM_COUNTER_ADD(obs::names::kParSimRetries, 1);
-  };
-
+  const device::FaultInjector* faults =
+      (opts_.faults != nullptr && opts_.faults->enabled()) ? opts_.faults
+                                                           : nullptr;
   for (std::size_t p = start_p; p < P; ++p) {
-    MLSIM_TRACE_SPAN("parallel_sim/partition");
-    MLSIM_HIST_TIMER(obs::names::kParSimPartitionNs);
-    const std::size_t b = res.boundaries[p], e = res.boundaries[p + 1];
-    const std::size_t h_begin = b >= opts_.warmup ? b - opts_.warmup : 0;
-    const std::size_t head_limit =
-        correcting ? std::min(opts_.correction_limit + 1, e - b) : 0;
-
-    std::uint64_t clock = 0;
-    std::size_t attempt = 0;
-
-    for (;;) {  // attempt loop: body + re-warmup until an attempt survives
-      // Kill decisions are pure in (partition, attempt), so a doomed attempt
-      // is known up front: its results would be discarded anyway, so only
-      // the modeled cost of the partial body is charged.
-      if (faults != nullptr) {
-        if (const auto kp = faults->kill_point(p, attempt)) {
-          const std::size_t body = e - h_begin;
-          const std::size_t wasted = std::min(
-              body, std::max<std::size_t>(
-                        1, static_cast<std::size_t>(std::llround(
-                               *kp * static_cast<double>(body)))));
-          partition_wasted[p] += wasted;
-          gpu_lost[gpu_of(p)] = 1;
-          if (!failed[p]) {
-            failed[p] = 1;
-            res.failed_partitions.push_back(p);
-          }
-          MLSIM_COUNTER_ADD(obs::names::kParSimDeviceKills, 1);
-          charge_retry(p, attempt, "device kill");
-          continue;  // requeued: next attempt re-warms from h_begin
-        }
-      }
-
-      res.warmup_instructions += b - h_begin;  // re-warmup is real extra work
-      if (correcting) {
-        head_counts[p].clear();
-        head_counts[p].reserve(head_limit);
-      }
-      clock = 0;
-      std::uint64_t clock_at_body = 0;
-      LatencyPredictor& active =
-          degraded[p] ? *opts_.fallback : predictor_;
-      const bool corrupting = faults != nullptr && !degraded[p] &&
-                              faults->options().output_corrupt_rate > 0.0;
-      bool anomaly = false;
-
-      for (std::size_t i = h_begin; i < e; ++i) {
-        if (opts_.cancel != nullptr) opts_.cancel->check();
-        if (i == b) clock_at_body = clock;
-        const LazyWindow lw(trace, i, h_begin, ring.data(), cap, clock, rows);
-
-        const bool want_count =
-            (opts_.record_context_counts && i >= b) ||
-            (correcting && i >= b && i - b < head_limit) || ((i & 63) == 0);
-        std::size_t cnt = 0;
-        if (want_count) {
-          cnt = lw.context_count();
-          if ((i & 63) == 0) {
-            occupancy.add(static_cast<double>(cnt) /
-                          static_cast<double>(opts_.context_length));
-          }
-          if (opts_.record_context_counts && i >= b) {
-            res.context_counts[i] = static_cast<std::uint16_t>(cnt);
-          }
-          if (correcting && i >= b && i - b < head_limit) {
-            head_counts[p].push_back(static_cast<std::uint16_t>(cnt));
-          }
-        }
-
-        LatencyPrediction pr = active.predict_lazy(lw);
-        if (corrupting && faults->corrupts(p, attempt, i)) {
-          const device::CorruptLatencies g =
-              faults->corrupt_latencies(p, attempt, i);
-          pr = {g.fetch, g.exec, g.store};
-        }
-        if (limit != 0 &&
-            (pr.fetch > limit || pr.exec > limit || pr.store > limit)) {
-          // Anomalous inference output (a NaN/garbage latency would poison
-          // the final Clock gather). Abort the attempt and requeue the
-          // partition on the fallback predictor (degraded mode).
-          MLSIM_COUNTER_ADD(obs::names::kParSimAnomalies, 1);
-          check(!degraded[p], "anomalous prediction from the fallback "
-                              "predictor on partition " + std::to_string(p));
-          check(opts_.fallback != nullptr,
-                "anomalous prediction on partition " + std::to_string(p) +
-                    " and no fallback predictor configured");
-          partition_wasted[p] += i - h_begin + 1;
-          degraded[p] = 1;
-          res.degraded_partitions.push_back(p);
-          anomaly = true;
-          break;
-        }
-        ring[i % cap] = clock + pr.fetch + pr.exec + pr.store;
-        clock += pr.fetch;
-        if (i >= b) {
-          fetch_lat[i] = pr.fetch;
-          if (opts_.record_predictions) res.predictions[i] = pr;
-        }
-      }
-      if (anomaly) {
-        charge_retry(p, attempt, "anomalous inference output");
-        continue;
-      }
-      partition_cycles[p] = clock - clock_at_body;
-      break;
-    }
-    final_attempt[p] = static_cast<std::uint32_t>(attempt);
-    partition_steps[p] += e - h_begin;
-
-    // ---- Post-error correction of this partition's head -------------------
-    if (correcting && p > 0 && gpu_of(p) == gpu_of(p - 1) && !prev_ring.empty()) {
-      MLSIM_TRACE_SPAN("parallel_sim/correction");
-      // Corrections belong to this partition's predictions, so a degraded
-      // partition is corrected by its fallback predictor too.
-      LatencyPredictor& corr_pred =
-          degraded[p] ? *opts_.fallback : predictor_;
-      std::size_t corrected = 0;
-      std::uint64_t cclock = prev_clock;
-      for (std::size_t j = 0; j < head_limit && b + j < e; ++j) {
-        const std::size_t i = b + j;
-        const LazyWindow lw(trace, i, prev_oldest, prev_ring.data(), cap, cclock,
-                            rows);
-        const std::size_t cnt = lw.context_count();
-        if (cnt == head_counts[p][j]) break;  // contexts converged
-        const LatencyPrediction pr = corr_pred.predict_lazy(lw);
-        // Replace the head prediction; keep the partition totals consistent.
-        partition_cycles[p] += pr.fetch;
-        partition_cycles[p] -= fetch_lat[i];
-        fetch_lat[i] = pr.fetch;
-        if (opts_.record_predictions) res.predictions[i] = pr;
-        if (opts_.record_context_counts) {
-          res.context_counts[i] = static_cast<std::uint16_t>(cnt);
-        }
-        prev_ring[i % cap] = cclock + pr.fetch + pr.exec + pr.store;
-        cclock += pr.fetch;
-        ++corrected;
-      }
-      res.corrected_instructions += corrected;
-      partition_steps[p - 1] += corrected;  // the *previous* partition re-simulates
-    }
-
-    // Snapshot this partition's end state for correcting the next one.
-    if (correcting) {
-      prev_ring = ring;
-      prev_clock = clock;
-      prev_oldest = h_begin;
-    }
-    MLSIM_COUNTER_ADD(obs::names::kParSimPartitionsDone, 1);
-
+    engine.run_partition(p);
     const std::size_t done = p + 1;
     if (checkpointing &&
         (done == P ||
@@ -475,52 +239,20 @@ ParallelSimResult ParallelSimulator::run(const trace::EncodedTrace& trace) {
     }
   }
 
-  for (std::size_t p = 0; p < P; ++p) res.total_cycles += partition_cycles[p];
+  res.warmup_instructions = engine.warmup_instructions;
+  res.corrected_instructions = engine.corrected_instructions;
+  res.retries = engine.retries;
+  res.failed_partitions = engine.failed_list;
+  res.degraded_partitions = engine.degraded_list;
+  res.predictions = std::move(engine.predictions);
+  res.context_counts = std::move(engine.context_counts);
 
-  // ---- Simulated-time model (lockstep batched inference per GPU) ------------
-  // Stragglers stretch a partition's successful pass; steps burnt by killed
-  // or anomaly-aborted attempts add on top.
-  std::vector<std::size_t> modeled_steps(P);
-  for (std::size_t p = 0; p < P; ++p) {
-    const double f =
-        faults != nullptr ? faults->straggler_factor(p, final_attempt[p]) : 1.0;
-    modeled_steps[p] =
-        static_cast<std::size_t>(std::llround(
-            static_cast<double>(partition_steps[p]) * f)) +
-        partition_wasted[p];
-  }
-  ParallelTimePenalties penalties;
-  for (const std::uint8_t lost : gpu_lost) penalties.lost_devices += lost;
-  // At least one device always survives to drain the requeued partitions.
-  penalties.lost_devices = std::min(penalties.lost_devices, G - 1);
-  penalties.backoff_us = backoff_us;
-  res.lost_devices = penalties.lost_devices;
-  res.retry_backoff_us = backoff_us;
-
-  std::size_t flops = predictor_.flops_per_window(rows);
-  if (flops == 0) flops = opts_.assumed_flops_per_window;
-  if (flops == 0) flops = simnet3c2f_flops(rows);
-  const double occ = occupancy.count() ? occupancy.mean() : 0.3;
-  res.sim_time_us =
-      model_parallel_time_us(opts_, modeled_steps, flops, occ, penalties);
-  if (obs::enabled()) {
-    MLSIM_COUNTER_ADD(obs::names::kParSimInstructions, n);
-    MLSIM_COUNTER_ADD(obs::names::kParSimWarmupInstructions,
-                      res.warmup_instructions);
-    MLSIM_COUNTER_ADD(obs::names::kParSimCorrectedInstructions,
-                      res.corrected_instructions);
-    MLSIM_COUNTER_ADD(obs::names::kParSimDegradedPartitions,
-                      res.degraded_partitions.size());
-    MLSIM_GAUGE_SET(obs::names::kParSimLostDevices,
-                    static_cast<double>(res.lost_devices));
-    for (std::size_t p = 0; p < P; ++p) {
-      MLSIM_HIST_RECORD(obs::names::kParSimAttemptsPerPartition,
-                        static_cast<double>(final_attempt[p]) + 1.0);
-    }
-    // Mean valid fraction of the lockstep batch window — what the modeled
-    // per-GPU batched inference actually occupies.
-    MLSIM_GAUGE_SET(obs::names::kParSimBatchOccupancy, occ);
-  }
+  finalize_parallel_result(opts_, plan, engine.partition_cycles,
+                           engine.partition_steps, engine.partition_wasted,
+                           engine.final_attempt, engine.gpu_lost,
+                           engine.backoff_us, engine.occupancy,
+                           predictor_.flops_per_window(opts_.context_length + 1),
+                           res);
 
   // The run completed: a stale checkpoint must not hijack a future run.
   if (checkpointing) {

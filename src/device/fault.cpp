@@ -11,12 +11,13 @@ FaultInjector::FaultInjector(FaultOptions opts) : opts_(opts) {
   check(rate_ok(opts_.straggler_rate), "straggler_rate must be in [0, 1]");
   check(rate_ok(opts_.output_corrupt_rate),
         "output_corrupt_rate must be in [0, 1]");
+  check(rate_ok(opts_.worker_kill_rate), "worker_kill_rate must be in [0, 1]");
   check(opts_.straggler_slowdown >= 1.0, "straggler_slowdown must be >= 1");
 }
 
 bool FaultInjector::enabled() const {
   return opts_.device_kill_rate > 0.0 || opts_.straggler_rate > 0.0 ||
-         opts_.output_corrupt_rate > 0.0 ||
+         opts_.output_corrupt_rate > 0.0 || opts_.worker_kill_rate > 0.0 ||
          opts_.die_after_partition != static_cast<std::size_t>(-1);
 }
 
@@ -57,6 +58,12 @@ double FaultInjector::straggler_factor(std::size_t partition,
   return uniform(kStraggle, partition, attempt, 0) < opts_.straggler_rate
              ? opts_.straggler_slowdown
              : 1.0;
+}
+
+bool FaultInjector::worker_killed(std::size_t shard,
+                                  std::size_t attempt) const {
+  if (opts_.worker_kill_rate <= 0.0) return false;
+  return uniform(kWorkerKill, shard, attempt, 0) < opts_.worker_kill_rate;
 }
 
 bool FaultInjector::corrupts(std::size_t partition, std::size_t attempt,

@@ -48,6 +48,13 @@ struct FaultOptions {
   /// up. SIZE_MAX = never. Excluded from the checkpoint fingerprint: the
   /// resumed run legitimately differs from its killed predecessor here.
   std::size_t die_after_partition = static_cast<std::size_t>(-1);
+  /// Distributed cluster only (docs/DISTRIBUTED.md): probability a worker
+  /// process dies mid-shard on a given (shard, assignment-attempt). The
+  /// coordinator observes the disconnect and reassigns the shard. Keyed on
+  /// the coordinator-tracked attempt so a reassignment re-draws — and, like
+  /// die_after_partition, excluded from the run fingerprint: who computed a
+  /// shard never changes what the shard computes.
+  double worker_kill_rate = 0.0;
 };
 
 /// Garbage latencies substituted for a corrupted inference output. Values
@@ -86,6 +93,10 @@ class FaultInjector {
   CorruptLatencies corrupt_latencies(std::size_t partition, std::size_t attempt,
                                      std::uint64_t index) const;
 
+  /// Whether the worker process computing shard `shard` dies on assignment
+  /// attempt `attempt` (distributed cluster; see docs/DISTRIBUTED.md).
+  bool worker_killed(std::size_t shard, std::size_t attempt) const;
+
   /// True when `completed_partitions` hits the process-death trigger
   /// exactly — a resumed run restarts past the trigger and is not killed
   /// again even with identical options.
@@ -102,6 +113,7 @@ class FaultInjector {
     kStraggle = 3,
     kCorrupt = 4,
     kCorruptValue = 5,
+    kWorkerKill = 6,
   };
   std::uint64_t draw(Stream stream, std::size_t partition, std::size_t attempt,
                      std::uint64_t index) const;

@@ -1,0 +1,333 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dist/protocol.h"
+#include "net/frame.h"
+#include "obs/metric_names.h"
+#include "obs/obs.h"
+
+namespace mlsim::dist {
+
+namespace {
+
+double us_since(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+DistCoordinator::DistCoordinator(net::TcpListener listener,
+                                 CoordinatorOptions opts)
+    : listener_(std::move(listener)), opts_(opts) {
+  check(listener_.valid(), "coordinator needs a bound listener");
+  check(opts_.max_assign_attempts > 0, "need at least one assignment attempt");
+}
+
+DistCoordinator::~DistCoordinator() { shutdown_workers(); }
+
+void DistCoordinator::shutdown_workers() {
+  for (auto& w : workers_) {
+    if (w->dead) continue;
+    try {
+      net::send_frame(w->conn, encode_shutdown());
+    } catch (const IoError&) {
+      // Already gone; nothing to drain.
+    }
+  }
+  workers_.clear();
+}
+
+void DistCoordinator::accept_joiners(const std::string& welcome) {
+  // Drain the backlog: accept until the listener would block.
+  for (;;) {
+    auto conn = listener_.accept(0);
+    if (!conn.has_value()) return;
+    try {
+      if (!conn->readable(opts_.handshake_timeout_ms)) {
+        continue;  // never said Hello; drop
+      }
+      std::string payload;
+      if (!net::recv_frame(*conn, payload)) continue;
+      const auto version = decode_hello(payload, conn->peer());
+      if (version != kProtocolVersion) {
+        ++stats_.workers_rejected;
+        net::send_frame(*conn,
+                        encode_reject("protocol version " +
+                                      std::to_string(version) +
+                                      " unsupported (coordinator speaks " +
+                                      std::to_string(kProtocolVersion) + ")"));
+        continue;
+      }
+      net::send_frame(*conn, welcome);
+    } catch (const IoError&) {
+      continue;  // died mid-handshake
+    } catch (const CheckError&) {
+      continue;  // spoke garbage instead of Hello
+    }
+    auto w = std::make_unique<Worker>();
+    w->conn = std::move(*conn);
+    w->last_heard = Clock::now();
+    workers_.push_back(std::move(w));
+    ++stats_.workers_joined;
+    MLSIM_COUNTER_ADD(obs::names::kDistWorkersJoined, 1);
+  }
+}
+
+void DistCoordinator::drop_worker(Worker& w, RunState& rs) {
+  if (w.dead) return;
+  w.dead = true;
+  w.conn.close();
+  ++stats_.workers_lost;
+  MLSIM_COUNTER_ADD(obs::names::kDistWorkersLost, 1);
+  if (w.shard.has_value()) {
+    const std::size_t s = *w.shard;
+    w.shard.reset();
+    if (rs.shards[s].state == ShardState::kAssigned &&
+        rs.shards[s].owner == &w) {
+      reassign(s, rs);
+    }
+  }
+}
+
+void DistCoordinator::reassign(std::size_t shard_idx, RunState& rs) {
+  rs.shards[shard_idx].state = ShardState::kPending;
+  rs.shards[shard_idx].owner = nullptr;
+  ++stats_.reassignments;
+  MLSIM_COUNTER_ADD(obs::names::kDistReassignments, 1);
+}
+
+void DistCoordinator::assign_pending(RunState& rs) {
+  for (std::size_t s = 0; s < rs.shards.size(); ++s) {
+    if (rs.shards[s].state != ShardState::kPending) continue;
+    Worker* idle = nullptr;
+    for (auto& w : workers_) {
+      if (!w->dead && !w->suspect && !w->shard.has_value()) {
+        idle = w.get();
+        break;
+      }
+    }
+    if (idle == nullptr) return;  // no capacity this tick
+    check(rs.shards[s].attempts < opts_.max_assign_attempts,
+          "shard " + std::to_string(s) + " exceeded its assignment budget (" +
+              std::to_string(opts_.max_assign_attempts) + " attempts)");
+    AssignMsg a;
+    a.session = session_;
+    a.shard = s;
+    a.part_lo = rs.plan->shard_lo(s);
+    a.part_hi = rs.plan->shard_hi(s);
+    a.attempt = static_cast<std::uint32_t>(rs.shards[s].attempts);
+    try {
+      net::send_frame(idle->conn, encode_assign(a));
+    } catch (const IoError&) {
+      drop_worker(*idle, rs);
+      --s;  // retry this shard against the remaining pool
+      continue;
+    }
+    ++rs.shards[s].attempts;
+    rs.shards[s].state = ShardState::kAssigned;
+    rs.shards[s].owner = idle;
+    idle->shard = s;
+    idle->assigned_at = Clock::now();
+    idle->last_heard = Clock::now();
+    ++stats_.shards_dispatched;
+    MLSIM_COUNTER_ADD(obs::names::kDistShardsDispatched, 1);
+  }
+}
+
+void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
+  std::string payload;
+  try {
+    if (!net::recv_frame(w.conn, payload)) {
+      drop_worker(w, rs);  // clean EOF: worker exited
+      return;
+    }
+  } catch (const IoError&) {
+    drop_worker(w, rs);  // reset, or a truncated/corrupt frame
+    return;
+  }
+  w.last_heard = Clock::now();
+  w.suspect = false;
+  WorkerErrorMsg fatal;
+  bool have_fatal = false;
+  try {
+    switch (peek_type(payload, w.conn.peer())) {
+      case MsgType::kHeartbeat: {
+        decode_heartbeat(payload, w.conn.peer());
+        ++stats_.heartbeats;
+        MLSIM_COUNTER_ADD(obs::names::kDistHeartbeats, 1);
+        break;
+      }
+      case MsgType::kResult: {
+        ResultDecoded d = decode_result(payload, w.conn.peer());
+        const std::size_t s = d.header.shard;
+        if (w.shard == s) w.shard.reset();
+        if (d.header.session != session_ || s >= rs.shards.size() ||
+            rs.shards[s].state == ShardState::kDone) {
+          // Duplicate, or a late delivery for a shard already completed
+          // elsewhere: outcomes are deterministic, so the first accepted
+          // result is as good as any — drop idempotently.
+          ++stats_.duplicates_dropped;
+          MLSIM_COUNTER_ADD(obs::names::kDistDuplicatesDropped, 1);
+          break;
+        }
+        check(d.outcome.part_lo == rs.plan->shard_lo(s) &&
+                  d.outcome.part_hi == rs.plan->shard_hi(s),
+              "shard result range does not match the plan");
+        rs.shards[s].outcome = std::move(d.outcome);
+        rs.shards[s].state = ShardState::kDone;
+        rs.shards[s].owner = nullptr;
+        ++rs.done;
+        ++w.completed;
+        ++stats_.shards_completed;
+        MLSIM_COUNTER_ADD(obs::names::kDistShardsCompleted, 1);
+        MLSIM_HIST_RECORD(obs::names::kDistShardLatencyUs,
+                          us_since(w.assigned_at));
+        break;
+      }
+      case MsgType::kWorkerError: {
+        const WorkerErrorMsg m = decode_worker_error(payload, w.conn.peer());
+        if (m.kind == 1) {
+          // Deterministic content failure: rerunning elsewhere reproduces
+          // it, so fail the run (outside this catch block).
+          fatal = m;
+          have_fatal = true;
+          break;
+        }
+        // Worker-side transport trouble: requeue whatever it was running.
+        if (w.shard.has_value()) {
+          const std::size_t s = *w.shard;
+          w.shard.reset();
+          if (rs.shards[s].state == ShardState::kAssigned &&
+              rs.shards[s].owner == &w) {
+            reassign(s, rs);
+          }
+        }
+        break;
+      }
+      default:
+        // A worker must not send Hello/Welcome/Assign/Shutdown mid-run.
+        drop_worker(w, rs);
+        break;
+    }
+  } catch (const CheckError&) {
+    // Undecodable or plan-inconsistent content: treat like transport loss.
+    drop_worker(w, rs);
+    return;
+  }
+  if (have_fatal) {
+    throw CheckError("worker " + w.conn.peer() + " failed shard " +
+                     std::to_string(fatal.shard) +
+                     " deterministically: " + fatal.what);
+  }
+}
+
+void DistCoordinator::reap_dead_workers() {
+  workers_.erase(
+      std::remove_if(workers_.begin(), workers_.end(),
+                     [](const std::unique_ptr<Worker>& w) { return w->dead; }),
+      workers_.end());
+}
+
+core::ParallelSimResult DistCoordinator::run(
+    const trace::EncodedTrace& trace, const core::ParallelSimOptions& opts) {
+  core::ParallelSimResult res;
+  const std::size_t n = trace.size();
+  res.instructions = n;
+  if (n == 0) return res;
+
+  MLSIM_TRACE_SPAN("dist/run");
+  ++session_;
+  const core::ShardPlan plan = core::ShardPlan::make(n, opts);
+  const std::uint64_t fp = core::run_fingerprint(trace, opts, plan.parts);
+  const std::string welcome =
+      encode_welcome(session_, fp, RunConfig::from_options(opts), trace);
+
+  RunState rs;
+  rs.plan = &plan;
+  rs.shards.resize(plan.num_shards);
+
+  // Re-welcome workers that joined in a previous run: their session state
+  // is stale until they see this run's config and trace.
+  for (auto& w : workers_) {
+    try {
+      net::send_frame(w->conn, welcome);
+    } catch (const IoError&) {
+      drop_worker(*w, rs);
+    }
+  }
+  reap_dead_workers();
+
+  const auto started = Clock::now();
+  const auto deadline =
+      started + std::chrono::milliseconds(opts_.run_timeout_ms);
+  // min_workers gates only the *initial* dispatch (don't race shards onto a
+  // half-joined cluster). Once dispatch has begun, losing workers below the
+  // floor must not stall the run — the survivors drain the queue.
+  bool dispatching = false;
+  while (rs.done < plan.num_shards) {
+    if (opts.cancel != nullptr) opts.cancel->check();
+    if (opts_.run_timeout_ms > 0 && Clock::now() > deadline) {
+      throw IoError("distributed run timed out after " +
+                    std::to_string(opts_.run_timeout_ms) + " ms with " +
+                    std::to_string(rs.done) + "/" +
+                    std::to_string(plan.num_shards) + " shards complete");
+    }
+    if (workers_.size() >= opts_.min_workers) dispatching = true;
+    if (dispatching) assign_pending(rs);
+
+    std::vector<int> fds;
+    fds.reserve(workers_.size() + 1);
+    fds.push_back(listener_.fd());
+    for (auto& w : workers_) fds.push_back(w->conn.fd());
+    const std::vector<bool> ready = net::poll_readable(fds, opts_.poll_ms);
+
+    if (ready[0]) accept_joiners(welcome);
+    // accept_joiners may have appended workers the poll never saw; only the
+    // first fds.size()-1 entries have a ready bit.
+    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+      if (ready[i + 1] && !workers_[i]->dead) {
+        handle_frame(*workers_[i], rs);
+      }
+    }
+
+    // Presume silent assigned workers dead: requeue their shards, but keep
+    // the sockets open — a late Result is still accepted (or dropped as a
+    // duplicate) if the worker was merely slow.
+    const auto now = Clock::now();
+    for (auto& w : workers_) {
+      if (w->dead || !w->shard.has_value()) continue;
+      const auto silent_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - w->last_heard)
+              .count();
+      if (silent_ms > opts_.heartbeat_timeout_ms) {
+        const std::size_t s = *w->shard;
+        w->shard.reset();
+        w->suspect = true;
+        if (rs.shards[s].state == ShardState::kAssigned &&
+            rs.shards[s].owner == w.get()) {
+          reassign(s, rs);
+        }
+      }
+    }
+    reap_dead_workers();
+  }
+
+  core::ShardMerger merger(plan, opts.record_predictions,
+                           opts.record_context_counts);
+  for (const Shard& s : rs.shards) merger.add(s.outcome);
+  res = merger.finish(opts, /*predictor_flops=*/0);
+  if (obs::enabled()) {
+    for (const auto& w : workers_) {
+      MLSIM_HIST_RECORD(obs::names::kDistShardsPerWorker,
+                        static_cast<double>(w->completed));
+    }
+  }
+  return res;
+}
+
+}  // namespace mlsim::dist

@@ -1,0 +1,126 @@
+// Coordinator side of the distributed cluster (docs/DISTRIBUTED.md).
+//
+// Single-threaded, poll-driven: one loop multiplexes the listener and every
+// worker connection. Per run it computes the ShardPlan (identically to the
+// in-process engine), Welcomes each worker with the run config + trace,
+// dispatches shard descriptors, tracks heartbeats, reassigns shards whose
+// worker dies or goes silent, drops duplicate/late results idempotently,
+// and merges the per-shard outcomes through ShardMerger — so the
+// distributed CPI is bit-identical to a single-process ParallelSimulator
+// run over the same trace, options, and seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/shard.h"
+#include "net/socket.h"
+#include "service/remote.h"
+
+namespace mlsim::dist {
+
+struct CoordinatorOptions {
+  /// Workers that must have joined before the first shard is dispatched.
+  std::size_t min_workers = 1;
+  /// An assigned worker silent for longer than this is presumed dead: its
+  /// shard is reassigned and the worker is marked suspect until it speaks.
+  int heartbeat_timeout_ms = 2000;
+  /// Poll granularity of the event loop.
+  int poll_ms = 50;
+  /// Times a shard may be (re)assigned before the run fails with
+  /// CheckError. Each assignment uses a fresh attempt number, so the
+  /// deterministic worker-kill schedule re-draws per attempt.
+  std::size_t max_assign_attempts = 10;
+  /// Wall-clock ceiling for one run; exceeded → IoError (the cluster is
+  /// unavailable or wedged, not the simulation). 0 disables.
+  int run_timeout_ms = 120000;
+  /// Wait for a worker's Hello before giving up on the connection.
+  int handshake_timeout_ms = 2000;
+};
+
+struct CoordinatorStats {
+  std::size_t workers_joined = 0;
+  std::size_t workers_lost = 0;
+  std::size_t workers_rejected = 0;
+  std::size_t shards_dispatched = 0;
+  std::size_t shards_completed = 0;
+  std::size_t reassignments = 0;
+  std::size_t duplicates_dropped = 0;
+  std::size_t heartbeats = 0;
+};
+
+class DistCoordinator final : public service::RemoteBackend {
+ public:
+  explicit DistCoordinator(net::TcpListener listener,
+                           CoordinatorOptions opts = {});
+  ~DistCoordinator() override;
+  DistCoordinator(const DistCoordinator&) = delete;
+  DistCoordinator& operator=(const DistCoordinator&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::size_t connected_workers() const { return workers_.size(); }
+  const CoordinatorStats& stats() const { return stats_; }
+
+  /// Run one distributed simulation over the connected (and still-joining)
+  /// workers. Throws CheckError when a shard's content deterministically
+  /// fails or its assignment budget is exhausted, IoError when the cluster
+  /// cannot finish the run.
+  core::ParallelSimResult run(const trace::EncodedTrace& trace,
+                              const core::ParallelSimOptions& opts);
+
+  core::ParallelSimResult run_remote(
+      const trace::EncodedTrace& trace,
+      const core::ParallelSimOptions& opts) override {
+    return run(trace, opts);
+  }
+
+  /// Send Shutdown to every connected worker and drop the connections.
+  void shutdown_workers();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Worker {
+    net::TcpConn conn;
+    bool dead = false;
+    /// Heartbeat went stale: shard was reassigned, no new assignments until
+    /// the worker speaks again.
+    bool suspect = false;
+    std::optional<std::size_t> shard;
+    Clock::time_point last_heard;
+    Clock::time_point assigned_at;
+    std::size_t completed = 0;
+  };
+
+  enum class ShardState { kPending, kAssigned, kDone };
+  struct Shard {
+    ShardState state = ShardState::kPending;
+    std::size_t attempts = 0;  // assignments so far; next attempt index
+    Worker* owner = nullptr;
+    core::ShardOutcome outcome;
+  };
+
+  struct RunState {
+    const core::ShardPlan* plan = nullptr;
+    std::vector<Shard> shards;
+    std::size_t done = 0;
+  };
+
+  void accept_joiners(const std::string& welcome);
+  void handle_frame(Worker& w, RunState& rs);
+  void drop_worker(Worker& w, RunState& rs);
+  void reassign(std::size_t shard_idx, RunState& rs);
+  void assign_pending(RunState& rs);
+  void reap_dead_workers();
+
+  net::TcpListener listener_;
+  CoordinatorOptions opts_;
+  CoordinatorStats stats_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::uint64_t session_ = 0;
+};
+
+}  // namespace mlsim::dist

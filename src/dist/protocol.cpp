@@ -1,0 +1,354 @@
+#include "dist/protocol.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "trace/encoder.h"
+
+namespace mlsim::dist {
+
+namespace {
+
+using wire::Reader;
+using wire::Writer;
+
+void put_type(Writer& w, MsgType t) {
+  w.pod(static_cast<std::uint32_t>(t));
+}
+
+/// Skip-and-verify the leading type word.
+void expect_type(Reader& r, MsgType want, const std::string& context) {
+  const auto got = r.pod<std::uint32_t>();
+  check(got == static_cast<std::uint32_t>(want),
+        "unexpected message type " + std::to_string(got) + " from " + context);
+}
+
+void put_config(Writer& w, const RunConfig& c) {
+  w.pod(c.num_subtraces);
+  w.pod(c.num_gpus);
+  w.pod(c.context_length);
+  w.pod(c.warmup);
+  w.pod(c.post_error_correction);
+  w.pod(c.correction_limit);
+  w.pod(c.record_predictions);
+  w.pod(c.record_context_counts);
+  w.pod(c.anomaly_latency_limit);
+  w.pod(c.max_retries_per_partition);
+  w.pod(c.retry_backoff_us);
+  w.pod(c.faults_enabled);
+  w.pod(c.fault_seed);
+  w.pod(c.device_kill_rate);
+  w.pod(c.straggler_rate);
+  w.pod(c.straggler_slowdown);
+  w.pod(c.output_corrupt_rate);
+  w.pod(c.worker_kill_rate);
+}
+
+RunConfig get_config(Reader& r) {
+  RunConfig c;
+  c.num_subtraces = r.pod<std::uint64_t>();
+  c.num_gpus = r.pod<std::uint64_t>();
+  c.context_length = r.pod<std::uint64_t>();
+  c.warmup = r.pod<std::uint64_t>();
+  c.post_error_correction = r.pod<std::uint8_t>();
+  c.correction_limit = r.pod<std::uint64_t>();
+  c.record_predictions = r.pod<std::uint8_t>();
+  c.record_context_counts = r.pod<std::uint8_t>();
+  c.anomaly_latency_limit = r.pod<std::uint32_t>();
+  c.max_retries_per_partition = r.pod<std::uint64_t>();
+  c.retry_backoff_us = r.pod<double>();
+  c.faults_enabled = r.pod<std::uint8_t>();
+  c.fault_seed = r.pod<std::uint64_t>();
+  c.device_kill_rate = r.pod<double>();
+  c.straggler_rate = r.pod<double>();
+  c.straggler_slowdown = r.pod<double>();
+  c.output_corrupt_rate = r.pod<double>();
+  c.worker_kill_rate = r.pod<double>();
+  return c;
+}
+
+void put_outcome(Writer& w, const core::ShardOutcome& o) {
+  w.pod(o.part_lo);
+  w.pod(o.part_hi);
+  w.vec(o.partition_cycles);
+  w.vec(o.partition_steps);
+  w.vec(o.partition_wasted);
+  w.vec(o.final_attempt);
+  w.vec(o.failed_partitions);
+  w.vec(o.degraded_partitions);
+  w.pod(o.warmup_instructions);
+  w.pod(o.corrected_instructions);
+  w.pod(o.retries);
+  w.pod(o.backoff_us);
+  w.pod(o.gpu_lost);
+  w.pod(o.occupancy);
+  w.vec(o.predictions);
+  w.vec(o.context_counts);
+}
+
+core::ShardOutcome get_outcome(Reader& r) {
+  core::ShardOutcome o;
+  o.part_lo = r.pod<std::uint64_t>();
+  o.part_hi = r.pod<std::uint64_t>();
+  o.partition_cycles = r.vec<std::uint64_t>();
+  o.partition_steps = r.vec<std::uint64_t>();
+  o.partition_wasted = r.vec<std::uint64_t>();
+  o.final_attempt = r.vec<std::uint32_t>();
+  o.failed_partitions = r.vec<std::uint64_t>();
+  o.degraded_partitions = r.vec<std::uint64_t>();
+  o.warmup_instructions = r.pod<std::uint64_t>();
+  o.corrected_instructions = r.pod<std::uint64_t>();
+  o.retries = r.pod<std::uint64_t>();
+  o.backoff_us = r.pod<double>();
+  o.gpu_lost = r.pod<std::uint8_t>();
+  o.occupancy = r.pod<RunningStats::State>();
+  o.predictions = r.vec<core::LatencyPrediction>();
+  o.context_counts = r.vec<std::uint16_t>();
+  return o;
+}
+
+}  // namespace
+
+RunConfig RunConfig::from_options(const core::ParallelSimOptions& o) {
+  RunConfig c;
+  c.num_subtraces = o.num_subtraces;
+  c.num_gpus = o.num_gpus;
+  c.context_length = o.context_length;
+  c.warmup = o.warmup;
+  c.post_error_correction = o.post_error_correction ? 1 : 0;
+  c.correction_limit = o.correction_limit;
+  c.record_predictions = o.record_predictions ? 1 : 0;
+  c.record_context_counts = o.record_context_counts ? 1 : 0;
+  c.anomaly_latency_limit = o.anomaly_latency_limit;
+  c.max_retries_per_partition = o.max_retries_per_partition;
+  c.retry_backoff_us = o.retry_backoff_us;
+  if (o.faults != nullptr && o.faults->enabled()) {
+    const device::FaultOptions& f = o.faults->options();
+    c.faults_enabled = 1;
+    c.fault_seed = f.seed;
+    c.device_kill_rate = f.device_kill_rate;
+    c.straggler_rate = f.straggler_rate;
+    c.straggler_slowdown = f.straggler_slowdown;
+    c.output_corrupt_rate = f.output_corrupt_rate;
+    c.worker_kill_rate = f.worker_kill_rate;
+  }
+  return c;
+}
+
+core::ParallelSimOptions RunConfig::to_options(
+    const device::FaultInjector* faults) const {
+  core::ParallelSimOptions o;
+  o.num_subtraces = num_subtraces;
+  o.num_gpus = num_gpus;
+  o.context_length = context_length;
+  o.warmup = warmup;
+  o.post_error_correction = post_error_correction != 0;
+  o.correction_limit = correction_limit;
+  o.record_predictions = record_predictions != 0;
+  o.record_context_counts = record_context_counts != 0;
+  o.anomaly_latency_limit = anomaly_latency_limit;
+  o.max_retries_per_partition = max_retries_per_partition;
+  o.retry_backoff_us = retry_backoff_us;
+  o.faults = faults;
+  return o;
+}
+
+device::FaultOptions RunConfig::fault_options() const {
+  device::FaultOptions f;
+  f.seed = fault_seed;
+  f.device_kill_rate = device_kill_rate;
+  f.straggler_rate = straggler_rate;
+  f.straggler_slowdown = straggler_slowdown;
+  f.output_corrupt_rate = output_corrupt_rate;
+  f.worker_kill_rate = worker_kill_rate;
+  return f;
+}
+
+MsgType peek_type(std::string_view payload, const std::string& context) {
+  Reader r(payload, context);
+  const auto t = r.pod<std::uint32_t>();
+  check(t >= static_cast<std::uint32_t>(MsgType::kHello) &&
+            t <= static_cast<std::uint32_t>(MsgType::kWorkerError),
+        "unknown message type " + std::to_string(t) + " from " + context);
+  return static_cast<MsgType>(t);
+}
+
+std::string encode_hello(std::uint32_t protocol_version) {
+  Writer w;
+  put_type(w, MsgType::kHello);
+  w.pod(protocol_version);
+  return w.take();
+}
+
+std::string encode_welcome(std::uint64_t session, std::uint64_t fingerprint,
+                           const RunConfig& cfg,
+                           const trace::EncodedTrace& trace) {
+  Writer w;
+  put_type(w, MsgType::kWelcome);
+  w.pod(session);
+  w.pod(fingerprint);
+  put_config(w, cfg);
+  w.str(trace.benchmark());
+  w.pod(static_cast<std::uint64_t>(trace.size()));
+  w.pod(static_cast<std::uint8_t>(trace.labeled() ? 1 : 0));
+  w.vec(trace.raw_features());
+  w.vec(trace.raw_targets());
+  return w.take();
+}
+
+std::string encode_reject(const std::string& reason) {
+  Writer w;
+  put_type(w, MsgType::kReject);
+  w.str(reason);
+  return w.take();
+}
+
+std::string encode_assign(const AssignMsg& m) {
+  Writer w;
+  put_type(w, MsgType::kAssign);
+  w.pod(m.session);
+  w.pod(m.shard);
+  w.pod(m.part_lo);
+  w.pod(m.part_hi);
+  w.pod(m.attempt);
+  return w.take();
+}
+
+std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o) {
+  Writer w;
+  put_type(w, MsgType::kResult);
+  w.pod(h.session);
+  w.pod(h.shard);
+  w.pod(h.attempt);
+  put_outcome(w, o);
+  return w.take();
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  Writer w;
+  put_type(w, MsgType::kHeartbeat);
+  w.pod(m.session);
+  w.pod(m.shard);
+  return w.take();
+}
+
+std::string encode_shutdown() {
+  Writer w;
+  put_type(w, MsgType::kShutdown);
+  return w.take();
+}
+
+std::string encode_worker_error(const WorkerErrorMsg& m) {
+  Writer w;
+  put_type(w, MsgType::kWorkerError);
+  w.pod(m.session);
+  w.pod(m.shard);
+  w.pod(m.kind);
+  w.str(m.what);
+  return w.take();
+}
+
+std::uint32_t decode_hello(std::string_view payload,
+                           const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kHello, context);
+  const auto v = r.pod<std::uint32_t>();
+  r.finish();
+  return v;
+}
+
+WelcomeDecoded decode_welcome(std::string_view payload,
+                              const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kWelcome, context);
+  WelcomeDecoded d;
+  d.session = r.pod<std::uint64_t>();
+  d.fingerprint = r.pod<std::uint64_t>();
+  d.config = get_config(r);
+  const std::string benchmark = r.str();
+  const auto n = r.pod<std::uint64_t>();
+  const auto labeled = r.pod<std::uint8_t>();
+  const auto features = r.vec<std::int32_t>();
+  const auto targets = r.vec<std::uint32_t>();
+  r.finish();
+  check(features.size() == n * trace::kNumFeatures,
+        "welcome trace feature matrix shape mismatch from " + context);
+  check(!labeled || targets.size() == n * trace::kNumTargets,
+        "welcome trace target matrix shape mismatch from " + context);
+  d.trace = trace::EncodedTrace(benchmark);
+  d.trace.reserve(n);
+  trace::FeatureVector row;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::copy_n(features.begin() +
+                    static_cast<std::ptrdiff_t>(i * trace::kNumFeatures),
+                trace::kNumFeatures, row.begin());
+    if (labeled) {
+      const std::size_t t = i * trace::kNumTargets;
+      d.trace.append(row, targets[t], targets[t + 1], targets[t + 2]);
+    } else {
+      d.trace.append(row);
+    }
+  }
+  return d;
+}
+
+std::string decode_reject(std::string_view payload,
+                          const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kReject, context);
+  std::string reason = r.str();
+  r.finish();
+  return reason;
+}
+
+AssignMsg decode_assign(std::string_view payload, const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kAssign, context);
+  AssignMsg m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
+  m.part_lo = r.pod<std::uint64_t>();
+  m.part_hi = r.pod<std::uint64_t>();
+  m.attempt = r.pod<std::uint32_t>();
+  r.finish();
+  return m;
+}
+
+ResultDecoded decode_result(std::string_view payload,
+                            const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kResult, context);
+  ResultDecoded d;
+  d.header.session = r.pod<std::uint64_t>();
+  d.header.shard = r.pod<std::uint64_t>();
+  d.header.attempt = r.pod<std::uint32_t>();
+  d.outcome = get_outcome(r);
+  r.finish();
+  return d;
+}
+
+HeartbeatMsg decode_heartbeat(std::string_view payload,
+                              const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kHeartbeat, context);
+  HeartbeatMsg m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
+  r.finish();
+  return m;
+}
+
+WorkerErrorMsg decode_worker_error(std::string_view payload,
+                                   const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kWorkerError, context);
+  WorkerErrorMsg m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
+  m.kind = r.pod<std::uint32_t>();
+  m.what = r.str();
+  r.finish();
+  return m;
+}
+
+}  // namespace mlsim::dist

@@ -1,0 +1,149 @@
+// Message schema of the coordinator/worker cluster (docs/DISTRIBUTED.md).
+//
+// Every message is one RPC frame (net/frame.h) whose payload starts with a
+// u32 message type followed by the Writer-serialized body. The shard
+// lifecycle:
+//
+//   worker            coordinator
+//   Hello       ->                   protocol handshake
+//               <-  Welcome          session + run config + full trace
+//               <-  Reject           (version mismatch: reason, then close)
+//               <-  Assign           shard + partition range + attempt
+//   Heartbeat   ->                   liveness while computing / idle
+//   Result      ->                   serialized ShardOutcome
+//   WorkerError ->                   typed failure (transport vs content)
+//               <-  Shutdown         run over, drain and exit
+//
+// Results are deterministic in (trace, options, shard) — never in which
+// worker or attempt computed them — so the coordinator accepts the first
+// Result per shard and drops duplicates and late deliveries idempotently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/wire.h"
+#include "core/shard.h"
+#include "device/fault.h"
+#include "trace/trace.h"
+
+namespace mlsim::dist {
+
+/// Protocol (message schema) version; distinct from wire::kWireVersion,
+/// which covers only the envelope layout. A coordinator Rejects workers
+/// that Hello with any other version.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  kHello = 1,
+  kWelcome = 2,
+  kReject = 3,
+  kAssign = 4,
+  kResult = 5,
+  kHeartbeat = 6,
+  kShutdown = 7,
+  kWorkerError = 8,
+};
+
+/// The ParallelSimOptions subset that determines shard *contents* (integer
+/// outcomes), shipped verbatim to every worker. The cost model is absent on
+/// purpose: it only shapes the modeled wall-clock, which the coordinator
+/// computes after the merge.
+struct RunConfig {
+  std::uint64_t num_subtraces = 0;
+  std::uint64_t num_gpus = 0;
+  std::uint64_t context_length = 0;
+  std::uint64_t warmup = 0;
+  std::uint8_t post_error_correction = 0;
+  std::uint64_t correction_limit = 0;
+  std::uint8_t record_predictions = 0;
+  std::uint8_t record_context_counts = 0;
+  std::uint32_t anomaly_latency_limit = 0;
+  std::uint64_t max_retries_per_partition = 0;
+  double retry_backoff_us = 0.0;
+  std::uint8_t faults_enabled = 0;
+  std::uint64_t fault_seed = 0;
+  double device_kill_rate = 0.0;
+  double straggler_rate = 0.0;
+  double straggler_slowdown = 4.0;
+  double output_corrupt_rate = 0.0;
+  double worker_kill_rate = 0.0;
+
+  static RunConfig from_options(const core::ParallelSimOptions& o);
+  /// Reconstruct engine-affecting options. `faults` must outlive the result
+  /// (pass nullptr when faults_enabled is 0).
+  core::ParallelSimOptions to_options(
+      const device::FaultInjector* faults) const;
+  device::FaultOptions fault_options() const;
+};
+
+struct AssignMsg {
+  std::uint64_t session = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t part_lo = 0;
+  std::uint64_t part_hi = 0;
+  std::uint32_t attempt = 0;
+};
+
+struct ResultHeader {
+  std::uint64_t session = 0;
+  std::uint64_t shard = 0;
+  std::uint32_t attempt = 0;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t session = 0;
+  /// Shard being computed, or kIdleShard between assignments.
+  std::uint64_t shard = 0;
+};
+inline constexpr std::uint64_t kIdleShard = ~0ull;
+
+struct WorkerErrorMsg {
+  std::uint64_t session = 0;
+  std::uint64_t shard = 0;
+  /// 0 = transport (IoError: retryable elsewhere), 1 = content (CheckError:
+  /// deterministic, rerunning anywhere reproduces it — the run must fail).
+  std::uint32_t kind = 0;
+  std::string what;
+};
+
+/// First u32 of a payload. Throws CheckError on an empty/unknown payload.
+MsgType peek_type(std::string_view payload, const std::string& context);
+
+// ---- encoders ---------------------------------------------------------------
+std::string encode_hello(std::uint32_t protocol_version);
+std::string encode_welcome(std::uint64_t session, std::uint64_t fingerprint,
+                           const RunConfig& cfg,
+                           const trace::EncodedTrace& trace);
+std::string encode_reject(const std::string& reason);
+std::string encode_assign(const AssignMsg& m);
+std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o);
+std::string encode_heartbeat(const HeartbeatMsg& m);
+std::string encode_shutdown();
+std::string encode_worker_error(const WorkerErrorMsg& m);
+
+// ---- decoders (payload includes the leading type word) ----------------------
+std::uint32_t decode_hello(std::string_view payload,
+                           const std::string& context);
+struct WelcomeDecoded {
+  std::uint64_t session = 0;
+  std::uint64_t fingerprint = 0;
+  RunConfig config;
+  trace::EncodedTrace trace;
+};
+WelcomeDecoded decode_welcome(std::string_view payload,
+                              const std::string& context);
+std::string decode_reject(std::string_view payload, const std::string& context);
+AssignMsg decode_assign(std::string_view payload, const std::string& context);
+struct ResultDecoded {
+  ResultHeader header;
+  core::ShardOutcome outcome;
+};
+ResultDecoded decode_result(std::string_view payload,
+                            const std::string& context);
+HeartbeatMsg decode_heartbeat(std::string_view payload,
+                              const std::string& context);
+WorkerErrorMsg decode_worker_error(std::string_view payload,
+                                   const std::string& context);
+
+}  // namespace mlsim::dist

@@ -1,0 +1,133 @@
+#include "dist/worker.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+#include "core/analytic_predictor.h"
+#include "dist/protocol.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mlsim::dist {
+
+namespace {
+
+/// Everything a Welcome establishes. Heap-allocated so the options'
+/// injector pointer stays stable for the session's lifetime.
+struct Session {
+  std::uint64_t id = 0;
+  trace::EncodedTrace trace;
+  device::FaultInjector injector;
+  core::AnalyticPredictor predictor;
+  core::AnalyticPredictor fallback;
+  core::ParallelSimOptions opts;
+  core::ShardPlan plan;
+  std::uint64_t fingerprint = 0;
+};
+
+std::unique_ptr<Session> open_session(const WelcomeDecoded& w) {
+  auto s = std::make_unique<Session>();
+  s->id = w.session;
+  s->trace = w.trace;
+  s->injector = device::FaultInjector(w.config.fault_options());
+  s->opts = w.config.to_options(
+      w.config.faults_enabled ? &s->injector : nullptr);
+  s->opts.fallback = &s->fallback;
+  s->plan = core::ShardPlan::make(s->trace.size(), s->opts);
+  s->fingerprint = core::run_fingerprint(s->trace, s->opts, s->plan.parts);
+  return s;
+}
+
+net::TcpConn connect_with_retry(const WorkerConfig& cfg) {
+  for (int a = 0;; ++a) {
+    try {
+      return net::TcpConn::connect(cfg.host, cfg.port);
+    } catch (const IoError&) {
+      if (a + 1 >= cfg.connect_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+}  // namespace
+
+WorkerStats run_worker(const WorkerConfig& cfg) {
+  WorkerStats stats;
+  bool rejoin = true;
+  while (rejoin) {
+    rejoin = false;
+    net::TcpConn conn = connect_with_retry(cfg);
+    net::send_frame(conn, encode_hello(kProtocolVersion));
+    std::unique_ptr<Session> session;
+    std::string payload;
+    for (;;) {
+      // Heartbeat while idle so the coordinator can tell "slow" from "dead".
+      while (!conn.readable(cfg.heartbeat_ms)) {
+        net::send_frame(conn, encode_heartbeat(
+                                  {session ? session->id : 0, kIdleShard}));
+      }
+      if (!net::recv_frame(conn, payload)) return stats;  // coordinator gone
+      switch (peek_type(payload, conn.peer())) {
+        case MsgType::kReject:
+          throw CheckError("coordinator rejected worker: " +
+                           decode_reject(payload, conn.peer()));
+        case MsgType::kWelcome: {
+          const WelcomeDecoded w = decode_welcome(payload, conn.peer());
+          session = open_session(w);
+          ++stats.sessions;
+          if (session->fingerprint != w.fingerprint) {
+            net::send_frame(
+                conn, encode_worker_error(
+                          {session->id, kIdleShard, /*kind=*/1,
+                           "fingerprint mismatch: worker reconstructed a "
+                           "different run than the coordinator announced"}));
+            session.reset();
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          return stats;
+        case MsgType::kAssign: {
+          const AssignMsg a = decode_assign(payload, conn.peer());
+          if (session == nullptr || a.session != session->id) break;  // stale
+          Session& s = *session;
+          if (s.opts.faults != nullptr &&
+              s.opts.faults->worker_killed(a.shard, a.attempt)) {
+            // Simulated process death mid-shard: vanish without a Result.
+            ++stats.kills_simulated;
+            conn.abort();
+            if (!cfg.reconnect_after_kill) return stats;  // stay dead
+            rejoin = true;
+            break;
+          }
+          try {
+            core::ShardEngine engine(s.predictor, s.trace, s.opts, s.plan);
+            for (std::size_t p = a.part_lo; p < a.part_hi; ++p) {
+              engine.run_partition(p);
+              net::send_frame(conn, encode_heartbeat({s.id, a.shard}));
+            }
+            net::send_frame(
+                conn, encode_result({s.id, a.shard, a.attempt},
+                                    engine.block_outcome(a.part_lo, a.part_hi)));
+            ++stats.shards_computed;
+          } catch (const CheckError& e) {
+            // Deterministic content failure: rerunning the shard anywhere
+            // reproduces it, so the coordinator must fail the run.
+            net::send_frame(conn, encode_worker_error(
+                                      {s.id, a.shard, /*kind=*/1, e.what()}));
+          }
+          break;
+        }
+        default:
+          throw CheckError("unexpected message from coordinator " +
+                           conn.peer());
+      }
+      if (rejoin) break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mlsim::dist

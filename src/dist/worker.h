@@ -1,0 +1,43 @@
+// Worker side of the distributed cluster (docs/DISTRIBUTED.md).
+//
+// A worker is one process: it connects to the coordinator, handshakes
+// (Hello → Welcome, which ships the run config and the full trace), then
+// loops computing assigned shards with a fresh ShardEngine per assignment
+// and streaming heartbeats between partitions. Shard computation uses the
+// analytic predictor — the deterministic engine both sides share — so a
+// shard's outcome bytes are identical no matter which worker (or the
+// in-process engine) computes them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mlsim::dist {
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Idle/progress heartbeat cadence.
+  int heartbeat_ms = 200;
+  /// After a simulated worker kill (FaultOptions::worker_kill_rate), rejoin
+  /// the cluster as a fresh worker — models a supervisor restarting the
+  /// process. When false the worker stays dead, as a real SIGKILL would.
+  bool reconnect_after_kill = true;
+  /// Connection attempts (20 ms apart) before giving up with IoError —
+  /// covers the races around coordinator startup and kill-reconnect.
+  int connect_attempts = 100;
+};
+
+struct WorkerStats {
+  std::size_t shards_computed = 0;
+  std::size_t kills_simulated = 0;
+  std::size_t sessions = 0;
+};
+
+/// Run a worker until the coordinator shuts it down or disconnects.
+/// Throws IoError when the coordinator is unreachable and CheckError when
+/// it Rejects the handshake (protocol version mismatch).
+WorkerStats run_worker(const WorkerConfig& cfg);
+
+}  // namespace mlsim::dist

@@ -87,6 +87,26 @@ inline constexpr const char* kSvcBreakerTrips = "service.breaker_trips";
 inline constexpr const char* kSvcBreakerProbes = "service.breaker_probes";
 inline constexpr const char* kSvcRequestNs = "service.request_ns";
 
+// -- net (RPC framing over TCP, src/net/; docs/DISTRIBUTED.md) ---------------
+inline constexpr const char* kNetBytesSent = "net.bytes_sent";
+inline constexpr const char* kNetBytesReceived = "net.bytes_received";
+inline constexpr const char* kNetFramesSent = "net.frames_sent";
+inline constexpr const char* kNetFramesReceived = "net.frames_received";
+inline constexpr const char* kNetFrameRecvNs = "net.frame_recv_ns";
+
+// -- dist (coordinator/worker cluster, src/dist/; docs/DISTRIBUTED.md) -------
+inline constexpr const char* kDistWorkersJoined = "dist.workers_joined";
+inline constexpr const char* kDistShardsDispatched = "dist.shards_dispatched";
+inline constexpr const char* kDistShardsCompleted = "dist.shards_completed";
+inline constexpr const char* kDistReassignments = "dist.reassignments";
+inline constexpr const char* kDistDuplicatesDropped = "dist.duplicates_dropped";
+inline constexpr const char* kDistHeartbeats = "dist.heartbeats";
+inline constexpr const char* kDistWorkersLost = "dist.workers_lost";
+// Assign-send to Result-receipt wall time of each completed shard attempt.
+inline constexpr const char* kDistShardLatencyUs = "dist.shard_latency_us";
+// Completed shards per worker connection, recorded when a run finishes.
+inline constexpr const char* kDistShardsPerWorker = "dist.shards_per_worker";
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 struct BuiltinMetric {
@@ -148,6 +168,20 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kSvcBreakerTrips, MetricKind::kCounter},
     {kSvcBreakerProbes, MetricKind::kCounter},
     {kSvcRequestNs, MetricKind::kHistogram},
+    {kNetBytesSent, MetricKind::kCounter},
+    {kNetBytesReceived, MetricKind::kCounter},
+    {kNetFramesSent, MetricKind::kCounter},
+    {kNetFramesReceived, MetricKind::kCounter},
+    {kNetFrameRecvNs, MetricKind::kHistogram},
+    {kDistWorkersJoined, MetricKind::kCounter},
+    {kDistShardsDispatched, MetricKind::kCounter},
+    {kDistShardsCompleted, MetricKind::kCounter},
+    {kDistReassignments, MetricKind::kCounter},
+    {kDistDuplicatesDropped, MetricKind::kCounter},
+    {kDistHeartbeats, MetricKind::kCounter},
+    {kDistWorkersLost, MetricKind::kCounter},
+    {kDistShardLatencyUs, MetricKind::kHistogram},
+    {kDistShardsPerWorker, MetricKind::kHistogram},
 };
 
 inline constexpr std::size_t kNumBuiltinMetrics =

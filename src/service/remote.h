@@ -1,0 +1,24 @@
+// Remote execution hook for the simulation service (docs/SERVICE.md,
+// docs/DISTRIBUTED.md). Header-only on purpose: the service depends on this
+// interface, the distributed layer implements it (DistCoordinator), and
+// neither library links the other.
+#pragma once
+
+#include "core/parallel_sim.h"
+#include "trace/trace.h"
+
+namespace mlsim::service {
+
+/// Executes a parallel simulation somewhere other than the calling process
+/// — e.g. on a coordinator/worker cluster. Implementations must return a
+/// result whose integer fields (cycles, CPI, counters) are bit-identical to
+/// an in-process ParallelSimulator run of the same trace and options.
+class RemoteBackend {
+ public:
+  virtual ~RemoteBackend() = default;
+  virtual core::ParallelSimResult run_remote(
+      const trace::EncodedTrace& trace,
+      const core::ParallelSimOptions& opts) = 0;
+};
+
+}  // namespace mlsim::service

@@ -423,8 +423,16 @@ void SimulationService::run_request(const RequestState& st,
         po.fallback = &fallback_;
         po.max_retries_per_partition = opts_.max_retries_per_partition;
         po.cancel = &token;
-        core::ParallelSimulator sim(pred, po);
-        const auto r = sim.run(*req.trace);
+        core::ParallelSimResult r;
+        if (opts_.remote != nullptr) {
+          // Route to the cluster. The coordinator polls the same cancel
+          // token, so deadlines and the hang watchdog keep working; shard
+          // contents are bit-identical to the in-process engine.
+          r = opts_.remote->run_remote(*req.trace, po);
+        } else {
+          core::ParallelSimulator sim(pred, po);
+          r = sim.run(*req.trace);
+        }
         rsp.total_cycles = r.total_cycles;
         rsp.instructions = r.instructions;
         rsp.cpi = r.cpi();

@@ -39,6 +39,7 @@
 #include "common/cancellation.h"
 #include "core/predictor.h"
 #include "service/circuit_breaker.h"
+#include "service/remote.h"
 #include "service/request.h"
 
 namespace mlsim::service {
@@ -61,6 +62,12 @@ struct ServiceOptions {
 
   /// Parallel-engine retry budget per partition (kills + anomalies).
   std::size_t max_retries_per_partition = 8;
+
+  /// When set, kParallel requests execute on this backend (e.g. a
+  /// DistCoordinator fronting a worker cluster) instead of in-process. The
+  /// backend must outlive the service. Remote results are bit-identical in
+  /// CPI, so responses are indistinguishable apart from wall-clock.
+  RemoteBackend* remote = nullptr;
 
   CircuitBreakerOptions breaker;
 };

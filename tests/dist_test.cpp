@@ -1,0 +1,634 @@
+// Distributed coordinator/worker cluster (docs/DISTRIBUTED.md): bit-identical
+// merge vs the in-process engine, in-flight recovery from killed and hung
+// workers, idempotent duplicate handling, transport-fault containment, and
+// routing service requests through a remote cluster.
+//
+// Most tests run workers as in-process threads (the worker loop is identical
+// either way and failures print); the fork-based tests exercise real process
+// isolation and are skipped under ThreadSanitizer, which cannot follow forks.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "core/analytic_predictor.h"
+#include "core/parallel_sim.h"
+#include "core/shard.h"
+#include "device/fault.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/service.h"
+#include "trace/trace.h"
+#include "uarch/ground_truth.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MLSIM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLSIM_TSAN 1
+#endif
+#endif
+
+namespace mlsim::dist {
+namespace {
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+core::ParallelSimOptions base_options(std::size_t parts, std::size_t gpus) {
+  core::ParallelSimOptions o;
+  o.num_subtraces = parts;
+  o.num_gpus = gpus;
+  o.context_length = 16;
+  o.warmup = 16;
+  o.post_error_correction = true;
+  o.record_predictions = true;
+  return o;
+}
+
+/// The in-process reference: same engine, same analytic predictor the
+/// workers use, so the distributed merge must reproduce it bit for bit.
+core::ParallelSimResult local_reference(const trace::EncodedTrace& tr,
+                                        const core::ParallelSimOptions& o) {
+  core::AnalyticPredictor pred;
+  core::ParallelSimulator sim(pred, o);
+  return sim.run(tr);
+}
+
+void expect_identical(const core::ParallelSimResult& a,
+                      const core::ParallelSimResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.corrected_instructions, b.corrected_instructions);
+  EXPECT_EQ(a.warmup_instructions, b.warmup_instructions);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+    ASSERT_EQ(a.predictions[i], b.predictions[i]) << "at " << i;
+  }
+}
+
+/// Worker thread that swallows the teardown-path transport errors (the
+/// coordinator and its listener are torn down while workers may still be
+/// draining or reconnecting).
+std::thread worker_thread(std::uint16_t port, int heartbeat_ms = 50,
+                          bool reconnect = true) {
+  return std::thread([port, heartbeat_ms, reconnect] {
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = heartbeat_ms;
+    cfg.reconnect_after_kill = reconnect;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+      // Listener closed mid-reconnect; expected during teardown.
+    }
+  });
+}
+
+/// What a scripted (fake) worker learns from its handshake.
+struct FakeSession {
+  net::TcpConn conn;
+  WelcomeDecoded welcome;
+  device::FaultInjector injector;
+  core::ParallelSimOptions opts;
+  core::ShardPlan plan;
+};
+
+/// Connect + Hello + Welcome, like run_worker's handshake.
+std::unique_ptr<FakeSession> fake_join(std::uint16_t port) {
+  auto s = std::make_unique<FakeSession>();
+  s->conn = net::TcpConn::connect("127.0.0.1", port);
+  net::send_frame(s->conn, encode_hello(kProtocolVersion));
+  std::string payload;
+  while (true) {
+    if (!net::recv_frame(s->conn, payload)) {
+      throw IoError("coordinator closed during fake handshake");
+    }
+    if (peek_type(payload, "fake") == MsgType::kWelcome) break;
+  }
+  s->welcome = decode_welcome(payload, "fake");
+  s->injector = device::FaultInjector(s->welcome.config.fault_options());
+  s->opts = s->welcome.config.to_options(
+      s->welcome.config.faults_enabled ? &s->injector : nullptr);
+  s->plan = core::ShardPlan::make(s->welcome.trace.size(), s->opts);
+  return s;
+}
+
+/// Block until an Assign for this session arrives (skipping anything else).
+AssignMsg fake_await_assign(FakeSession& s) {
+  std::string payload;
+  while (true) {
+    if (!net::recv_frame(s.conn, payload)) {
+      throw IoError("coordinator closed while fake awaited an assignment");
+    }
+    if (peek_type(payload, "fake") != MsgType::kAssign) continue;
+    const AssignMsg a = decode_assign(payload, "fake");
+    if (a.session == s.welcome.session) return a;
+  }
+}
+
+/// Compute a shard exactly as a real worker would.
+core::ShardOutcome fake_compute(FakeSession& s, const AssignMsg& a) {
+  core::AnalyticPredictor pred;
+  core::ShardEngine engine(pred, s.welcome.trace, s.opts, s.plan);
+  for (std::size_t p = a.part_lo; p < a.part_hi; ++p) engine.run_partition(p);
+  return engine.block_outcome(a.part_lo, a.part_hi);
+}
+
+// ---- bit-identity ----------------------------------------------------------
+
+TEST(Dist, TwoWorkersBitIdenticalToInProcess) {
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);  // 4 shards of 2 partitions
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  // No staleness in this scenario: generous timeout so sanitizer-speed
+  // trace decode can't trip a spurious reassignment.
+  co.heartbeat_timeout_ms = 30000;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w1 = worker_thread(coord->port());
+  std::thread w2 = worker_thread(coord->port());
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().workers_joined, 2u);
+  EXPECT_EQ(coord->stats().shards_completed, 4u);
+  EXPECT_EQ(coord->stats().reassignments, 0u);
+
+  coord.reset();  // Shutdown + listener close so the threads exit
+  w1.join();
+  w2.join();
+}
+
+TEST(Dist, FourWorkersManyShardsBitIdentical) {
+  const auto tr = make_trace("mcf", 16000);
+  auto opts = base_options(12, 6);  // 6 shards
+  opts.record_context_counts = true;
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 30000;  // no staleness in this scenario
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::vector<std::thread> ws;
+  for (int i = 0; i < 4; ++i) ws.push_back(worker_thread(coord->port()));
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  ASSERT_EQ(local.context_counts.size(), out.context_counts.size());
+  EXPECT_EQ(local.context_counts, out.context_counts);
+  EXPECT_EQ(coord->stats().shards_completed, 6u);
+
+  coord.reset();
+  for (auto& w : ws) w.join();
+}
+
+// ---- in-flight recovery ----------------------------------------------------
+
+TEST(Dist, WorkerKillScheduleRecoversAndStaysBitIdentical) {
+  const auto tr = make_trace("xz", 20000);
+  auto opts = base_options(8, 8);  // 8 single-partition shards
+  device::FaultOptions fo;
+  fo.seed = 1;
+  fo.worker_kill_rate = 0.5;
+  const device::FaultInjector injector(fo);
+  opts.faults = &injector;
+  // worker_kill_rate only decides *who dies while computing*, never what a
+  // shard computes — the local reference with the same injector is inert.
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 1000;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w1 = worker_thread(coord->port());
+  std::thread w2 = worker_thread(coord->port());
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  // Seed 1 @ 50% kills several of the 8 first attempts; every one must have
+  // been reassigned and recomputed.
+  EXPECT_GT(coord->stats().reassignments, 0u);
+  EXPECT_GT(coord->stats().workers_lost, 0u);
+  EXPECT_EQ(coord->stats().shards_completed, 8u);
+
+  coord.reset();
+  w1.join();
+  w2.join();
+}
+
+TEST(Dist, HungWorkerShardIsReassigned) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 1;
+  co.heartbeat_timeout_ms = 200;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+
+  // The hung worker joins first, receives a shard, and never speaks again.
+  std::thread hung([port = coord->port()] {
+    try {
+      auto s = fake_join(port);
+      (void)fake_await_assign(*s);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1500));  // silent
+    } catch (const IoError&) {
+    }
+  });
+  std::thread rescuer([port = coord->port()] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_GT(coord->stats().reassignments, 0u);
+
+  coord.reset();
+  hung.join();
+  rescuer.join();
+}
+
+// ---- duplicate & late deliveries -------------------------------------------
+
+TEST(Dist, DuplicateResultIsDroppedIdempotently) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0));
+  // One scripted worker computes both shards, delivering the first result
+  // twice. The duplicate must be counted and ignored, not merged twice.
+  std::thread fake([port = coord->port()] {
+    try {
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      const std::string result =
+          encode_result({a.session, a.shard, a.attempt}, outcome);
+      net::send_frame(s->conn, result);
+      net::send_frame(s->conn, result);  // duplicate delivery
+      const AssignMsg b = fake_await_assign(*s);
+      net::send_frame(s->conn, encode_result({b.session, b.shard, b.attempt},
+                                             fake_compute(*s, b)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().duplicates_dropped, 1u);
+  EXPECT_EQ(coord->stats().shards_completed, 2u);
+
+  coord.reset();
+  fake.join();
+}
+
+TEST(Dist, LateResultAfterReassignmentIsNotMergedTwice) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // shards: s0, s1
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 300;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // `slow` takes a shard and goes silent past the heartbeat timeout; the
+  // shard is reassigned to `spare` and completed there. When `slow` finally
+  // delivers, the shard is already Done — exactly one of the two deliveries
+  // for that shard may be merged.
+  std::thread slow([port] {
+    try {
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      std::this_thread::sleep_for(std::chrono::milliseconds(900));
+      net::send_frame(s->conn,
+                      encode_result({a.session, a.shard, a.attempt}, outcome));
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    } catch (const IoError&) {
+    }
+  });
+  // `holder` keeps the other shard in flight (with heartbeats) long enough
+  // that the coordinator is still listening when the late result lands.
+  std::thread holder([port] {
+    try {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      for (int i = 0; i < 16; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        net::send_frame(s->conn, encode_heartbeat({a.session, a.shard}));
+      }
+      net::send_frame(s->conn,
+                      encode_result({a.session, a.shard, a.attempt}, outcome));
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const IoError&) {
+    }
+  });
+  // `spare` joins idle and picks up the reassigned shard.
+  std::thread spare([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_GT(coord->stats().reassignments, 0u);
+  EXPECT_EQ(coord->stats().duplicates_dropped, 1u);
+  EXPECT_EQ(coord->stats().shards_completed, 2u);
+
+  coord.reset();
+  slow.join();
+  holder.join();
+  spare.join();
+}
+
+// ---- transport faults ------------------------------------------------------
+
+TEST(Dist, TruncatedFrameDropsWorkerAndRunStillCompletes) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 1);  // a single shard
+  const auto local = local_reference(tr, opts);
+
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0));
+  // The garbler takes the shard, then emits a torn frame and vanishes. The
+  // coordinator must diagnose it as transport loss (typed IoError internally,
+  // never a hang), drop the worker, and reassign.
+  std::thread garbler([port = coord->port()] {
+    try {
+      auto s = fake_join(port);
+      (void)fake_await_assign(*s);
+      const std::string frame = wire::seal(net::kFrameMagic, "half a result");
+      s->conn.send_all(frame.data(), frame.size() / 2);
+      s->conn.close();
+    } catch (const IoError&) {
+    }
+  });
+  std::thread rescuer([port = coord->port()] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_GE(coord->stats().workers_lost, 1u);
+  EXPECT_GE(coord->stats().reassignments, 1u);
+
+  coord.reset();
+  garbler.join();
+  rescuer.join();
+}
+
+TEST(Dist, AssignmentBudgetExhaustionIsCheckError) {
+  const auto tr = make_trace("xz", 6000);
+  const auto opts = base_options(4, 1);  // a single shard
+  CoordinatorOptions co;
+  co.max_assign_attempts = 1;
+  co.heartbeat_timeout_ms = 200;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // First fake takes the only assignment and dies; the idle second fake
+  // makes the coordinator try to reassign — past the budget of 1.
+  std::thread dying([port] {
+    try {
+      auto s = fake_join(port);
+      (void)fake_await_assign(*s);
+      s->conn.abort();
+    } catch (const IoError&) {
+    }
+  });
+  std::thread idle([port] {
+    try {
+      auto s = fake_join(port);
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }  // drain until the coordinator goes away
+    } catch (const IoError&) {
+    }
+  });
+
+  EXPECT_THROW(coord->run(tr, opts), CheckError);
+  coord.reset();
+  dying.join();
+  idle.join();
+}
+
+TEST(Dist, ProtocolVersionMismatchIsRejected) {
+  // Coordinator side: a wrong-version Hello is Rejected and never joins.
+  const auto tr = make_trace("xz", 6000);
+  const auto opts = base_options(2, 1);
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0));
+  std::thread ancient([port = coord->port()] {
+    try {
+      net::TcpConn conn = net::TcpConn::connect("127.0.0.1", port);
+      net::send_frame(conn, encode_hello(kProtocolVersion + 7));
+      std::string payload;
+      ASSERT_TRUE(net::recv_frame(conn, payload));
+      EXPECT_EQ(peek_type(payload, "fake"), MsgType::kReject);
+      EXPECT_NE(decode_reject(payload, "fake").find("version"),
+                std::string::npos);
+    } catch (const IoError&) {
+    }
+  });
+  std::thread w = worker_thread(coord->port());
+  const auto out = coord->run(tr, opts);
+  EXPECT_EQ(out.total_cycles, local_reference(tr, opts).total_cycles);
+  EXPECT_EQ(coord->stats().workers_rejected, 1u);
+  coord.reset();
+  ancient.join();
+  w.join();
+
+  // Worker side: a Reject surfaces as a typed CheckError, not a retry loop.
+  net::TcpListener fake_coord = net::TcpListener::bind(0);
+  std::thread rejecting([&fake_coord] {
+    auto conn = fake_coord.accept(5000);
+    ASSERT_TRUE(conn.has_value());
+    std::string payload;
+    ASSERT_TRUE(net::recv_frame(*conn, payload));
+    net::send_frame(*conn, encode_reject("too new for me"));
+  });
+  WorkerConfig cfg;
+  cfg.port = fake_coord.port();
+  EXPECT_THROW(run_worker(cfg), CheckError);
+  rejecting.join();
+}
+
+// ---- real process isolation (fork) -----------------------------------------
+
+#if !defined(MLSIM_TSAN)
+
+/// Fork a real worker process. The child never returns.
+pid_t fork_worker(std::uint16_t port, int heartbeat_ms = 50) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  WorkerConfig cfg;
+  cfg.port = port;
+  cfg.heartbeat_ms = heartbeat_ms;
+  try {
+    run_worker(cfg);
+    _exit(0);
+  } catch (...) {
+    _exit(1);
+  }
+}
+
+TEST(DistProcess, ForkedWorkersBitIdenticalToInProcess) {
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  // Bind before forking so the children always find a listener.
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const pid_t a = fork_worker(coord->port());
+  const pid_t b = fork_worker(coord->port());
+  ASSERT_GT(a, 0);
+  ASSERT_GT(b, 0);
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().shards_completed, 4u);
+
+  coord.reset();  // Shutdown frames + listener close end both children
+  int status = 0;
+  EXPECT_EQ(waitpid(a, &status, 0), a);
+  EXPECT_EQ(waitpid(b, &status, 0), b);
+}
+
+TEST(DistProcess, HardKilledWorkerProcessIsRecoveredFrom) {
+  const auto tr = make_trace("mcf", 60000);
+  const auto opts = base_options(12, 12);  // 12 shards: work spans the kill
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 500;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const pid_t victim = fork_worker(coord->port());
+  const pid_t survivor = fork_worker(coord->port());
+  ASSERT_GT(victim, 0);
+  ASSERT_GT(survivor, 0);
+
+  // SIGKILL the victim shortly into the run — a genuine process death, not
+  // a simulated one. Whatever it was computing must be reassigned.
+  std::thread killer([victim] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    kill(victim, SIGKILL);
+  });
+
+  core::ParallelSimResult out;
+  std::string run_error;
+  try {
+    out = coord->run(tr, opts);
+  } catch (const std::exception& e) {
+    run_error = e.what();
+  }
+  killer.join();
+  ASSERT_EQ(run_error, "");
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().shards_completed, 12u);
+
+  coord.reset();
+  int status = 0;
+  EXPECT_EQ(waitpid(victim, &status, 0), victim);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(waitpid(survivor, &status, 0), survivor);
+}
+
+#endif  // !MLSIM_TSAN
+
+// ---- service integration ---------------------------------------------------
+
+TEST(Dist, ServiceRoutesParallelRequestsToRemoteCluster) {
+  const auto tr = make_trace("xz", 12000);
+
+  // Baseline: the same request served in-process.
+  core::AnalyticPredictor primary, fallback;
+  service::Request rq;
+  rq.trace = &tr;
+  rq.engine = service::EngineKind::kParallel;
+  rq.num_subtraces = 6;
+  rq.num_gpus = 2;
+  std::uint64_t local_cycles = 0;
+  {
+    service::SimulationService svc(primary, fallback);
+    auto t = svc.submit(rq);
+    const auto rsp = t.future.get();
+    ASSERT_TRUE(rsp.ok()) << rsp.error;
+    local_cycles = rsp.total_cycles;
+    svc.shutdown();
+  }
+
+  // Same request, routed through a coordinator fronting one worker. The
+  // coordinator spends its pre-loop time serializing the trace for Welcome,
+  // so the default 250 ms hang watchdog is too hair-trigger at sanitizer
+  // speed: give it room — hang handling has its own tests.
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 30000;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w = worker_thread(coord->port());
+  service::Response rsp;
+  std::size_t completed = 0;
+  {
+    service::ServiceOptions so;
+    so.num_workers = 1;  // the coordinator serves one run at a time
+    so.hang_timeout = std::chrono::milliseconds{30000};
+    so.remote = coord.get();
+    service::SimulationService svc(primary, fallback, so);
+    auto t = svc.submit(rq);
+    rsp = t.future.get();
+    svc.shutdown();
+  }
+  completed = coord->stats().shards_completed;
+  coord.reset();  // listener close releases the worker before any assert
+  w.join();
+  ASSERT_TRUE(rsp.ok()) << rsp.error;
+  EXPECT_EQ(rsp.total_cycles, local_cycles);
+  EXPECT_EQ(rsp.instructions, tr.size());
+  EXPECT_EQ(completed, 2u);
+}
+
+}  // namespace
+}  // namespace mlsim::dist

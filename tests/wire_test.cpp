@@ -1,0 +1,146 @@
+// Shared wire envelope (common/wire.h): seal/unseal round-trips, corruption
+// and truncation detection, and the enveloped-file path used by checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/wire.h"
+
+namespace mlsim::wire {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kMagic = 0x54534554;  // "TEST"
+
+fs::path temp_file(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / name;
+  fs::remove(p);
+  return p;
+}
+
+std::string sample_payload() {
+  Writer w;
+  w.pod<std::uint64_t>(0xdeadbeefcafe1234ull);
+  w.str("hello wire");
+  w.vec(std::vector<std::uint32_t>{1, 2, 3, 5, 8, 13});
+  w.pod<double>(2.5);
+  return w.take();
+}
+
+TEST(Wire, SealUnsealRoundTrip) {
+  const std::string payload = sample_payload();
+  const std::string sealed = seal(kMagic, payload);
+  EXPECT_EQ(sealed.size(), kEnvelopeBytes + payload.size());
+
+  const std::string_view out = unseal(kMagic, sealed, "test");
+  ASSERT_EQ(out.size(), payload.size());
+  EXPECT_EQ(std::string(out), payload);
+
+  Reader r(out, "test");
+  EXPECT_EQ(r.pod<std::uint64_t>(), 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(r.str(), "hello wire");
+  EXPECT_EQ(r.vec<std::uint32_t>(), (std::vector<std::uint32_t>{1, 2, 3, 5, 8, 13}));
+  EXPECT_EQ(r.pod<double>(), 2.5);
+  r.finish();
+}
+
+TEST(Wire, EmptyPayloadRoundTrips) {
+  const std::string sealed = seal(kMagic, "");
+  EXPECT_EQ(sealed.size(), kEnvelopeBytes);
+  EXPECT_EQ(unseal(kMagic, sealed, "test").size(), 0u);
+}
+
+TEST(Wire, EveryBitFlipIsDetected) {
+  const std::string payload = sample_payload();
+  const std::string sealed = seal(kMagic, payload);
+  // Flip one bit at a time across the whole envelope + payload; every single
+  // one must be caught (magic, version, checksum, size, or content).
+  for (std::size_t byte = 0; byte < sealed.size(); ++byte) {
+    std::string bad = sealed;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    EXPECT_THROW(unseal(kMagic, bad, "test"), CheckError)
+        << "bit flip at byte " << byte << " went undetected";
+  }
+}
+
+TEST(Wire, TruncationIsDetected) {
+  const std::string sealed = seal(kMagic, sample_payload());
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, kEnvelopeBytes - 1, kEnvelopeBytes,
+        sealed.size() - 1}) {
+    EXPECT_THROW(unseal(kMagic, sealed.substr(0, keep), "test"), CheckError)
+        << "truncation to " << keep << " bytes went undetected";
+  }
+}
+
+TEST(Wire, WrongMagicIsRejected) {
+  const std::string sealed = seal(kMagic, sample_payload());
+  EXPECT_THROW(unseal(kMagic + 1, sealed, "test"), CheckError);
+}
+
+TEST(Wire, TrailingGarbageIsRejected) {
+  std::string sealed = seal(kMagic, sample_payload());
+  sealed += "junk";
+  EXPECT_THROW(unseal(kMagic, sealed, "test"), CheckError);
+}
+
+TEST(Wire, ReaderNeverReadsPastEnd) {
+  Writer w;
+  w.pod<std::uint32_t>(7);
+  const std::string payload = w.take();
+  Reader r(payload, "test");
+  EXPECT_EQ(r.pod<std::uint32_t>(), 7u);
+  EXPECT_THROW(r.pod<std::uint32_t>(), CheckError);
+
+  // A vector whose length word claims more elements than bytes remain.
+  Writer lying;
+  lying.pod<std::uint64_t>(1u << 20);
+  const std::string lie = lying.take();
+  Reader r2(lie, "test");
+  EXPECT_THROW(r2.vec<std::uint64_t>(), CheckError);
+}
+
+TEST(Wire, FinishRejectsTrailingBytes) {
+  Writer w;
+  w.pod<std::uint32_t>(1);
+  w.pod<std::uint32_t>(2);
+  const std::string payload = w.take();
+  Reader r(payload, "test");
+  r.pod<std::uint32_t>();
+  EXPECT_THROW(r.finish(), CheckError);
+  r.pod<std::uint32_t>();
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(Wire, FileRoundTripAndMissingFile) {
+  const fs::path p = temp_file("mlsim_wire_test.bin");
+  std::string payload;
+  EXPECT_FALSE(read_envelope_file(p, kMagic, payload));  // does not exist
+
+  write_envelope_file(p, kMagic, sample_payload());
+  ASSERT_TRUE(read_envelope_file(p, kMagic, payload));
+  EXPECT_EQ(payload, sample_payload());
+  fs::remove(p);
+}
+
+TEST(Wire, CorruptFileIsCheckError) {
+  const fs::path p = temp_file("mlsim_wire_corrupt.bin");
+  write_envelope_file(p, kMagic, sample_payload());
+  {
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kEnvelopeBytes + 2));
+    f.put('\x7f');
+  }
+  std::string payload;
+  EXPECT_THROW(read_envelope_file(p, kMagic, payload), CheckError);
+  fs::remove(p);
+}
+
+}  // namespace
+}  // namespace mlsim::wire
