@@ -693,6 +693,9 @@ int cmd_serve(int argc, char** argv) {
   std::vector<std::string> pos;
   std::size_t requests = 32, workers = 2, queue = 8, parallel = 4;
   std::uint64_t deadline_ms = 0, stall_ms = 0;
+  bool batching = false;
+  std::size_t batch_max = 64;
+  std::uint64_t batch_wait_us = 100;
   device::FaultOptions fault;
   fault.seed = 1;
   bool any_fault = false;
@@ -711,6 +714,14 @@ int cmd_serve(int argc, char** argv) {
       deadline_ms = parse_u64("--deadline-ms", s.substr(14));
     } else if (s.rfind("--stall-ms=", 0) == 0) {
       stall_ms = parse_u64("--stall-ms", s.substr(11));
+    } else if (s == "--batch") {
+      batching = true;
+    } else if (s.rfind("--batch=", 0) == 0) {
+      batching = true;
+      batch_max = parse_size("--batch", s.substr(8));
+    } else if (s.rfind("--batch-wait-us=", 0) == 0) {
+      batching = true;
+      batch_wait_us = parse_u64("--batch-wait-us", s.substr(16));
     } else if (s.rfind("--fault-kill=", 0) == 0) {
       fault.device_kill_rate = parse_rate("--fault-kill", s.substr(13));
       any_fault = true;
@@ -733,7 +744,8 @@ int cmd_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mlsim_cli serve <benchmark|trace.bin> [instructions] "
                  "[--requests=N] [--workers=W] [--queue=Q] [--parallel=P] "
-                 "[--deadline-ms=D] [--fault-kill=R] [--fault-corrupt=R] "
+                 "[--deadline-ms=D] [--batch[=N]] [--batch-wait-us=U] "
+                 "[--fault-kill=R] [--fault-corrupt=R] "
                  "[--fault-straggler=R] [--fault-seed=S] [--stall-ms=M] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
@@ -747,14 +759,18 @@ int cmd_serve(int argc, char** argv) {
   service::ServiceOptions so;
   so.num_workers = workers;
   so.queue_capacity = queue;
+  so.batching = batching;
+  so.batcher.max_batch = batch_max;
+  so.batcher.max_wait = std::chrono::microseconds(batch_wait_us);
   service::SimulationService svc(primary, fallback, so);
   const device::FaultInjector injector(fault);
 
   std::printf("serving %zu requests (%zu workers, queue %zu, %zu sub-traces"
-              "%s%s)\n",
+              "%s%s%s)\n",
               requests, workers, queue, parallel,
               any_fault ? ", chaos on" : "",
-              deadline_ms ? ", deadline set" : "");
+              deadline_ms ? ", deadline set" : "",
+              batching ? ", batching on" : "");
   std::vector<service::SimulationService::Ticket> tickets;
   tickets.reserve(requests);
   for (std::size_t i = 0; i < requests; ++i) {
@@ -792,6 +808,15 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(st.degraded),
               to_string(svc.breaker_state()),
               static_cast<unsigned long long>(svc.breaker_trips()));
+  if (const auto* b = svc.batcher()) {
+    const auto bs = b->stats();
+    std::printf("batcher: %llu windows in %llu flushes (max batch %zu) | "
+                "modeled inference %.1f us batched vs %.1f us unbatched\n",
+                static_cast<unsigned long long>(bs.items_predicted),
+                static_cast<unsigned long long>(bs.flushes),
+                bs.max_batch_observed, bs.modeled_batched_us,
+                bs.modeled_unbatched_us);
+  }
   std::printf("health: %s\n", svc.health_json().c_str());
   svc.shutdown();
   finish_obs(obs_flags);

@@ -1,0 +1,60 @@
+// Asynchronous prediction submission — the engine side of cross-request
+// continuous batching (docs/BATCHING.md).
+//
+// A PredictSink decouples *where a window is produced* (an engine loop
+// walking one request's trace) from *where inference runs* (a scheduler
+// coalescing windows from many concurrent requests into large tensor
+// batches against a shared predictor). Engines that are handed a sink
+// submit each window instead of calling LatencyPredictor::predict()
+// directly, then block on the returned sequence number:
+//
+//   const std::uint64_t seq = sink->submit(window, rows, i);
+//   const LatencyPrediction p = sink->wait(seq);
+//
+// Contract:
+//   - submit() copies the window and never blocks on inference; when the
+//     shared queue is at capacity it throws QueueFullError (bounded
+//     backpressure, mapped to a typed rejection by the service) instead of
+//     stalling the engine thread.
+//   - Sequence numbers are assigned in submission order and are the
+//     *per-request* total order: wait(seq) returns the prediction for
+//     exactly that submission no matter how the scheduler interleaved it
+//     into batches, so a request's predictions are consumed in stable
+//     sequence order and its output is bit-identical to an unbatched run.
+//   - wait() throws CancelledError once the request's CancelToken is
+//     cancelled (deadline, manual cancel, shutdown) — queued items of a
+//     cancelled request are dropped, never predicted.
+//
+// The shipped implementation is service::BatchScheduler::Channel; this
+// interface lives in core so the engines stay free of a service dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "core/window.h"
+
+namespace mlsim::core {
+
+class PredictSink {
+ public:
+  virtual ~PredictSink() = default;
+
+  /// Enqueue one window (rows x trace::kNumFeatures, copied) for inference.
+  /// Returns the sequence number identifying this submission within the
+  /// request. Throws QueueFullError when the shared queue is at capacity.
+  virtual std::uint64_t submit(const std::int32_t* window, std::size_t rows,
+                               std::uint64_t global_index) = 0;
+
+  /// Block until the prediction for `seq` is available and return it.
+  /// Results arriving out of order are held until their turn; throws
+  /// CancelledError if the request is cancelled while waiting.
+  virtual LatencyPrediction wait(std::uint64_t seq) = 0;
+
+  /// Convenience for the engines' submit-then-consume pattern.
+  LatencyPrediction predict_via(const std::int32_t* window, std::size_t rows,
+                                std::uint64_t global_index) {
+    return wait(submit(window, rows, global_index));
+  }
+};
+
+}  // namespace mlsim::core

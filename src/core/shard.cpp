@@ -169,7 +169,15 @@ void ShardEngine::run_partition(std::size_t p) {
         }
       }
 
-      LatencyPrediction pr = active.predict_lazy(lw);
+      // Degraded partitions run on the fallback predictor and must bypass
+      // the batching sink, which only fronts the primary.
+      LatencyPrediction pr;
+      if (opts_.batch_sink != nullptr && !degraded[p]) {
+        lw.materialize(sink_window_);
+        pr = opts_.batch_sink->predict_via(sink_window_.data(), rows, i);
+      } else {
+        pr = active.predict_lazy(lw);
+      }
       if (corrupting && faults_->corrupts(p, attempt, i)) {
         const device::CorruptLatencies g =
             faults_->corrupt_latencies(p, attempt, i);
@@ -224,7 +232,13 @@ void ShardEngine::run_partition(std::size_t p) {
                           rows);
       const std::size_t cnt = lw.context_count();
       if (cnt == head_counts_[p][j]) break;  // contexts converged
-      const LatencyPrediction pr = corr_pred.predict_lazy(lw);
+      LatencyPrediction pr;
+      if (opts_.batch_sink != nullptr && !degraded[p]) {
+        lw.materialize(sink_window_);
+        pr = opts_.batch_sink->predict_via(sink_window_.data(), rows, i);
+      } else {
+        pr = corr_pred.predict_lazy(lw);
+      }
       // Replace the head prediction; keep the partition totals consistent.
       partition_cycles[p] += pr.fetch;
       partition_cycles[p] -= fetch_lat_[i];

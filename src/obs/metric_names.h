@@ -87,6 +87,18 @@ inline constexpr const char* kSvcBreakerTrips = "service.breaker_trips";
 inline constexpr const char* kSvcBreakerProbes = "service.breaker_probes";
 inline constexpr const char* kSvcRequestNs = "service.request_ns";
 
+// -- batcher (continuous-batching scheduler, src/service/batcher.cpp;
+//    docs/BATCHING.md) --------------------------------------------------------
+inline constexpr const char* kBatchItems = "batcher.items";
+inline constexpr const char* kBatchDroppedCancelled = "batcher.dropped_cancelled";
+inline constexpr const char* kBatchQueueDepth = "batcher.queue_depth";
+inline constexpr const char* kBatchSize = "batcher.batch_size";
+// Flush triggers: the batch hit max_batch / max_wait_us expired / drain at
+// shutdown.
+inline constexpr const char* kBatchFlushSize = "batcher.flush_size";
+inline constexpr const char* kBatchFlushDeadline = "batcher.flush_deadline";
+inline constexpr const char* kBatchFlushShutdown = "batcher.flush_shutdown";
+
 // -- net (RPC framing over TCP, src/net/; docs/DISTRIBUTED.md) ---------------
 inline constexpr const char* kNetBytesSent = "net.bytes_sent";
 inline constexpr const char* kNetBytesReceived = "net.bytes_received";
@@ -168,6 +180,13 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kSvcBreakerTrips, MetricKind::kCounter},
     {kSvcBreakerProbes, MetricKind::kCounter},
     {kSvcRequestNs, MetricKind::kHistogram},
+    {kBatchItems, MetricKind::kCounter},
+    {kBatchDroppedCancelled, MetricKind::kCounter},
+    {kBatchQueueDepth, MetricKind::kGauge},
+    {kBatchSize, MetricKind::kHistogram},
+    {kBatchFlushSize, MetricKind::kCounter},
+    {kBatchFlushDeadline, MetricKind::kCounter},
+    {kBatchFlushShutdown, MetricKind::kCounter},
     {kNetBytesSent, MetricKind::kCounter},
     {kNetBytesReceived, MetricKind::kCounter},
     {kNetFramesSent, MetricKind::kCounter},

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"  // QueueFullError
 #include "core/gpu_sim.h"
 #include "core/parallel_sim.h"
 #include "core/sequential_sim.h"
@@ -90,6 +91,14 @@ SimulationService::SimulationService(core::LatencyPredictor& primary,
       static_cast<double>(opts_.queue_capacity) * opts_.shed_fraction);
   shed_limit_ = shed < opts_.queue_capacity ? shed : opts_.queue_capacity;
 
+  if (opts_.batching) {
+    std::vector<core::LatencyPredictor*> instances;
+    instances.push_back(&primary_);
+    for (auto* p : opts_.extra_predictors) instances.push_back(p);
+    batcher_ = std::make_unique<BatchScheduler>(std::move(instances),
+                                                opts_.batcher);
+  }
+
   slots_.resize(opts_.num_workers);
   workers_.reserve(opts_.num_workers);
   for (std::size_t i = 0; i < opts_.num_workers; ++i) {
@@ -110,6 +119,9 @@ void SimulationService::shutdown() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // After the workers: no engine can be mid-submit/wait any more, so the
+  // scheduler can drain and join without stranding a waiter.
+  if (batcher_ != nullptr) batcher_->shutdown();
   {
     std::lock_guard lk(mu_);
     watchdog_stop_ = true;
@@ -333,6 +345,13 @@ void SimulationService::worker_loop(std::size_t slot_index) {
           break;
       }
       rsp.error = e.what();
+    } catch (const QueueFullError& e) {
+      // The batcher's bounded queue rejected a mid-run submission (the
+      // engine never blocks on a full batch queue). Same typed rejection
+      // the admission queue uses, so callers see one overload signal.
+      rsp = Response{};
+      rsp.status = ResponseStatus::kRejectedQueueFull;
+      rsp.error = e.what();
     } catch (const std::exception& e) {
       rsp = Response{};
       rsp.status = ResponseStatus::kFailed;
@@ -409,6 +428,13 @@ void SimulationService::run_request(const RequestState& st,
   core::LatencyPredictor& pred = use_primary ? primary_ : fallback_;
   bool primary_failed = false;
 
+  // Continuous batching covers the primary path only: while the breaker is
+  // open (or a partition is degraded) the engines call the analytic fallback
+  // directly, so a sick primary model can never stall batched peers.
+  std::shared_ptr<BatchScheduler::Channel> chan;
+  if (use_primary && batcher_ != nullptr) chan = batcher_->open(st.id, token);
+  core::PredictSink* const sink = chan.get();
+
   try {
     switch (req.engine) {
       case EngineKind::kParallel: {
@@ -430,6 +456,7 @@ void SimulationService::run_request(const RequestState& st,
           // contents are bit-identical to the in-process engine.
           r = opts_.remote->run_remote(*req.trace, po);
         } else {
+          po.batch_sink = sink;
           core::ParallelSimulator sim(pred, po);
           r = sim.run(*req.trace);
         }
@@ -448,6 +475,7 @@ void SimulationService::run_request(const RequestState& st,
         core::GpuSimOptions go;
         go.context_length = req.context_length;
         go.cancel = &token;
+        go.batch_sink = sink;
         core::GpuSimulator sim(pred, dev, go);
         const auto out = sim.run(*req.trace);
         rsp.total_cycles = out.cycles;
@@ -460,6 +488,7 @@ void SimulationService::run_request(const RequestState& st,
         core::SequentialSimOptions so;
         so.context_length = req.context_length;
         so.cancel = &token;
+        so.batch_sink = sink;
         core::SequentialSimulator sim(pred, so);
         const auto out = sim.run(*req.trace);
         rsp.total_cycles = out.cycles;
@@ -475,7 +504,8 @@ void SimulationService::run_request(const RequestState& st,
         const auto r = core::simulate_stream(pred, stream,
                                              req.stream_instructions,
                                              req.context_length,
-                                             std::size_t{1} << 14, &token);
+                                             std::size_t{1} << 14, &token,
+                                             sink);
         rsp.total_cycles = r.predicted_cycles;
         rsp.instructions = static_cast<std::size_t>(r.instructions);
         rsp.cpi = r.cpi();
@@ -535,6 +565,7 @@ std::string SimulationService::health_json() const {
      << ",\"max_outstanding\":" << max_outstanding_
      << ",\"breaker\":\"" << to_string(bs) << '"'
      << ",\"breaker_trips\":" << breaker_.trips()
+     << ",\"batching\":" << (batcher_ != nullptr ? "true" : "false")
      << ",\"submitted\":" << stats_.submitted
      << ",\"accepted\":" << stats_.accepted << ",\"rejected\":{"
      << "\"queue_full\":" << stats_.rejected_queue_full

@@ -38,6 +38,7 @@
 
 #include "common/cancellation.h"
 #include "core/predictor.h"
+#include "service/batcher.h"
 #include "service/circuit_breaker.h"
 #include "service/remote.h"
 #include "service/request.h"
@@ -70,6 +71,19 @@ struct ServiceOptions {
   RemoteBackend* remote = nullptr;
 
   CircuitBreakerOptions breaker;
+
+  /// Cross-request continuous batching (docs/BATCHING.md): when true, the
+  /// primary-predictor path of every in-process engine submits its windows
+  /// to a shared BatchScheduler, which coalesces windows from concurrent
+  /// requests into large inference batches. Per-request results stay
+  /// bit-identical to batching-off. The circuit-breaker fallback path and
+  /// remote execution always bypass the batcher.
+  bool batching = false;
+  BatcherOptions batcher;
+  /// Additional primary-model replicas the scheduler may dispatch batches
+  /// to (one scheduler thread each, on top of the primary). Must behave
+  /// identically to the primary and outlive the service.
+  std::vector<core::LatencyPredictor*> extra_predictors;
 };
 
 class SimulationService {
@@ -127,6 +141,8 @@ class SimulationService {
   std::size_t inflight() const;
   BreakerState breaker_state() const { return breaker_.state(); }
   std::uint64_t breaker_trips() const { return breaker_.trips(); }
+  /// Null when ServiceOptions::batching is off.
+  const BatchScheduler* batcher() const { return batcher_.get(); }
 
   /// Liveness/health snapshot as a single JSON object: overall status
   /// ("ok" | "overloaded" | "degraded" | "stopping"), queue and worker
@@ -184,6 +200,7 @@ class SimulationService {
   Stats stats_;
 
   CircuitBreaker breaker_;
+  std::unique_ptr<BatchScheduler> batcher_;  // non-null iff opts_.batching
 };
 
 }  // namespace mlsim::service

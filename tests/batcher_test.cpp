@@ -1,0 +1,348 @@
+// Cross-request continuous-batching scheduler (docs/BATCHING.md).
+//
+// The contract under test: batching changes *where* inference runs, never
+// what it returns. Per-request predictions are bit-identical to an unbatched
+// run across arbitrary interleavings (fuzzed over flush configurations and
+// thread start jitter); a full bounded queue rejects with the typed
+// QueueFullError instead of blocking the engine; queued items of a request
+// whose deadline expires are dropped and the waiter gets the typed deadline
+// error; the circuit-breaker fallback path never touches the batcher.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <iterator>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/analytic_predictor.h"
+#include "core/parallel_sim.h"
+#include "core/sequential_sim.h"
+#include "device/fault.h"
+#include "service/batcher.h"
+#include "service/service.h"
+#include "trace/encoder.h"
+#include "trace/trace.h"
+#include "uarch/ground_truth.h"
+
+namespace mlsim::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+/// Delegates to an AnalyticPredictor, but the FIRST predict_batch call blocks
+/// until release() — pinning the single scheduler thread mid-flush so tests
+/// can deterministically fill the queue behind it.
+class GatedPredictor final : public core::LatencyPredictor {
+ public:
+  core::LatencyPrediction predict(const core::WindowView& w,
+                                  std::uint64_t gi) override {
+    return inner_.predict(w, gi);
+  }
+
+  void predict_batch(const std::int32_t* windows, std::size_t batch,
+                     std::size_t rows, const std::uint64_t* gis,
+                     core::LatencyPrediction* out) override {
+    {
+      std::unique_lock lk(mu_);
+      if (!first_seen_) {
+        first_seen_ = true;
+        entered_ = true;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return released_; });
+      }
+    }
+    inner_.predict_batch(windows, batch, rows, gis, out);
+  }
+
+  std::size_t flops_per_window(std::size_t rows) const override {
+    return inner_.flops_per_window(rows);
+  }
+
+  void wait_until_entered() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return entered_; });
+  }
+  void release() {
+    std::lock_guard lk(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  core::AnalyticPredictor inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool first_seen_ = false;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Bit-identity under fuzzed interleavings
+// ---------------------------------------------------------------------------
+
+// Concurrent requests with different window shapes share one scheduler under
+// varying flush configurations; every request's per-instruction predictions
+// must match its own unbatched baseline byte for byte.
+TEST(Batcher, InterleaveFuzzBitIdentity) {
+  const trace::EncodedTrace tr = make_trace("mcf", 2000);
+  core::AnalyticPredictor pred;
+
+  // Two window shapes to also exercise the rows-grouped flush split.
+  const std::size_t contexts[] = {16, 16, 24, 24};
+  std::vector<std::vector<core::LatencyPrediction>> baseline;
+  for (const std::size_t ctx : contexts) {
+    core::SequentialSimOptions so;
+    so.context_length = ctx;
+    so.record_predictions = true;
+    baseline.push_back(core::SequentialSimulator(pred, so).run(tr).predictions);
+  }
+
+  struct Config {
+    std::size_t max_batch;
+    std::chrono::microseconds max_wait;
+  };
+  const Config configs[] = {
+      {1, 0us},    // degenerate: every window its own flush
+      {4, 50us},   // mid-size batches, deadline flushes
+      {64, 200us}, // batches larger than the request count
+      {3, 0us},    // non-divisor batch size, no accumulation wait
+  };
+
+  std::mt19937 rng(20220613);
+  for (const Config& cfg : configs) {
+    BatcherOptions bo;
+    bo.max_batch = cfg.max_batch;
+    bo.max_wait = cfg.max_wait;
+    BatchScheduler sched({&pred}, bo);
+
+    std::vector<std::vector<core::LatencyPrediction>> got(std::size(contexts));
+    std::vector<std::thread> threads;
+    std::uniform_int_distribution<int> jitter(0, 200);
+    for (std::size_t r = 0; r < std::size(contexts); ++r) {
+      const int delay_us = jitter(rng);
+      threads.emplace_back([&, r, delay_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        CancelSource src;
+        const auto chan = sched.open(r + 1, src.token());
+        core::SequentialSimOptions so;
+        so.context_length = contexts[r];
+        so.record_predictions = true;
+        so.batch_sink = chan.get();
+        got[r] = core::SequentialSimulator(pred, so).run(tr).predictions;
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    for (std::size_t r = 0; r < std::size(contexts); ++r) {
+      EXPECT_EQ(got[r], baseline[r])
+          << "request " << r << " diverged at max_batch=" << cfg.max_batch
+          << " max_wait=" << cfg.max_wait.count() << "us";
+    }
+    sched.shutdown();  // join scheduler threads so the stats are final
+    const auto st = sched.stats();
+    EXPECT_EQ(st.items_predicted, std::size(contexts) * 2000u);
+    EXPECT_EQ(st.items_dropped_cancelled, 0u);
+    EXPECT_LE(st.max_batch_observed, cfg.max_batch);
+  }
+}
+
+// Every batch must hold windows of a single shape: with interleaved 16- and
+// 24-row requests the scheduler still never mixes them (asserted indirectly
+// above by bit-identity — a mixed flush would feed garbage rows — and here
+// by the flush accounting adding up).
+TEST(Batcher, StatsAccountForEveryItem) {
+  const trace::EncodedTrace tr = make_trace("gcc", 500);
+  core::AnalyticPredictor pred;
+  BatchScheduler sched({&pred});
+  CancelSource src;
+  const auto chan = sched.open(7, src.token());
+  core::SequentialSimOptions so;
+  so.context_length = 16;
+  so.batch_sink = chan.get();
+  core::SequentialSimulator(pred, so).run(tr);
+  sched.shutdown();  // join scheduler threads so the stats are final
+  const auto st = sched.stats();
+  EXPECT_EQ(st.items_submitted, 500u);
+  EXPECT_EQ(st.items_predicted, 500u);
+  EXPECT_EQ(st.flush_size + st.flush_deadline + st.flush_shutdown, st.flushes);
+  EXPECT_GE(st.modeled_unbatched_us, st.modeled_batched_us);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: typed queue-full rejection, never a blocked engine thread
+// ---------------------------------------------------------------------------
+
+TEST(Batcher, FullQueueThrowsTypedQueueFullError) {
+  GatedPredictor gate;
+  BatcherOptions bo;
+  bo.max_batch = 1;
+  bo.max_wait = 0us;
+  bo.queue_capacity = 2;
+  BatchScheduler sched({&gate}, bo);
+
+  CancelSource src;
+  const auto chan = sched.open(1, src.token());
+  const std::int32_t window[17 * trace::kNumFeatures] = {};
+
+  // First item is taken by the scheduler thread, which then blocks inside
+  // predict_batch — the queue behind it is all ours.
+  const std::uint64_t s0 = chan->submit(window, 17, 0);
+  gate.wait_until_entered();
+  const std::uint64_t s1 = chan->submit(window, 17, 1);
+  const std::uint64_t s2 = chan->submit(window, 17, 2);
+  EXPECT_EQ(sched.queue_depth(), 2u);
+  EXPECT_THROW(chan->submit(window, 17, 3), QueueFullError);
+
+  // The rejection burns nothing: releasing the gate drains the queued items
+  // and every accepted submission still resolves.
+  gate.release();
+  EXPECT_NO_THROW(chan->wait(s0));
+  EXPECT_NO_THROW(chan->wait(s1));
+  EXPECT_NO_THROW(chan->wait(s2));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation: queued items of a dead request are dropped, typed
+// ---------------------------------------------------------------------------
+
+TEST(Batcher, DeadlineExpiryDropsQueuedItemsTyped) {
+  GatedPredictor gate;
+  BatcherOptions bo;
+  bo.max_batch = 1;
+  bo.max_wait = 0us;
+  BatchScheduler sched({&gate}, bo);
+
+  CancelSource live_src;
+  const auto live = sched.open(1, live_src.token());
+  CancelSource dying_src;
+  dying_src.set_deadline_after(30ms);
+  const auto dying = sched.open(2, dying_src.token());
+
+  const std::int32_t window[17 * trace::kNumFeatures] = {};
+  const std::uint64_t live_seq = live->submit(window, 17, 0);
+  gate.wait_until_entered();  // scheduler pinned; next items stay queued
+  const std::uint64_t dead_seq = dying->submit(window, 17, 0);
+
+  // The waiter observes the deadline while its item is still queued.
+  try {
+    dying->wait(dead_seq);
+    FAIL() << "wait() must throw once the deadline expires";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kDeadline);
+  }
+
+  // Unpinning the scheduler flushes the live item and *drops* the dead one.
+  gate.release();
+  EXPECT_NO_THROW(live->wait(live_seq));
+  for (int i = 0; i < 200 && sched.stats().items_dropped_cancelled == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto st = sched.stats();
+  EXPECT_EQ(st.items_dropped_cancelled, 1u);
+  EXPECT_EQ(st.items_predicted, 1u);
+
+  // Submissions on the dead channel are refused up front.
+  EXPECT_THROW(dying->submit(window, 17, 1), CancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// Service integration
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> service_burst(bool batching,
+                                         const trace::EncodedTrace& tr) {
+  core::AnalyticPredictor primary, fallback;
+  ServiceOptions so;
+  so.num_workers = 4;
+  so.queue_capacity = 16;
+  so.batching = batching;
+  so.batcher.max_wait = 50us;
+  SimulationService svc(primary, fallback, so);
+
+  std::vector<SimulationService::Ticket> tickets;
+  for (int i = 0; i < 2; ++i) {
+    Request par;
+    par.trace = &tr;
+    par.engine = EngineKind::kParallel;
+    par.num_subtraces = 4;
+    tickets.push_back(svc.submit(std::move(par)));
+    Request gpu;
+    gpu.trace = &tr;
+    gpu.engine = EngineKind::kGpu;
+    tickets.push_back(svc.submit(std::move(gpu)));
+    Request seq;
+    seq.trace = &tr;
+    seq.engine = EngineKind::kSequential;
+    tickets.push_back(svc.submit(std::move(seq)));
+    Request stream;
+    stream.engine = EngineKind::kStreaming;
+    stream.benchmark = "mcf";
+    stream.stream_instructions = 2000;
+    tickets.push_back(svc.submit(std::move(stream)));
+  }
+  std::vector<std::uint64_t> cycles;
+  for (auto& t : tickets) {
+    const Response r = t.future.get();
+    EXPECT_EQ(r.status, ResponseStatus::kCompleted) << r.error;
+    cycles.push_back(r.total_cycles);
+  }
+  return cycles;
+}
+
+// Batching on vs off is invisible in results for every engine kind.
+TEST(Batcher, ServiceResultsIdenticalWithBatchingOnAndOff) {
+  const trace::EncodedTrace tr = make_trace("mcf", 2000);
+  EXPECT_EQ(service_burst(true, tr), service_burst(false, tr));
+}
+
+// While the breaker is open, requests run on the analytic fallback and must
+// bypass the batcher entirely — a sick primary can never stall batched peers.
+TEST(Batcher, BreakerOpenFallbackBypassesBatcher) {
+  const trace::EncodedTrace tr = make_trace("mcf", 3000);
+  core::AnalyticPredictor primary, fallback;
+
+  device::FaultOptions fo;
+  fo.seed = 7;
+  fo.output_corrupt_rate = 1.0;  // every primary attempt degrades
+  const device::FaultInjector inj(fo);
+
+  ServiceOptions so;
+  so.batching = true;
+  so.breaker.failure_threshold = 1;
+  so.breaker.open_cooldown = 100;  // stay open for the rest of the test
+  SimulationService svc(primary, fallback, so);
+
+  Request chaos;
+  chaos.trace = &tr;
+  chaos.engine = EngineKind::kParallel;
+  chaos.num_subtraces = 4;
+  chaos.faults = &inj;
+  auto t0 = svc.submit(std::move(chaos));
+  const Response r0 = t0.future.get();
+  EXPECT_EQ(r0.status, ResponseStatus::kCompleted) << r0.error;
+  EXPECT_TRUE(r0.degraded);
+  ASSERT_EQ(svc.breaker_state(), BreakerState::kOpen);
+
+  const std::uint64_t submitted_before = svc.batcher()->stats().items_submitted;
+  Request seq;
+  seq.trace = &tr;
+  seq.engine = EngineKind::kSequential;
+  auto t1 = svc.submit(std::move(seq));
+  const Response r1 = t1.future.get();
+  EXPECT_EQ(r1.status, ResponseStatus::kCompleted) << r1.error;
+  EXPECT_TRUE(r1.degraded) << "open breaker must route to the fallback";
+  EXPECT_EQ(svc.batcher()->stats().items_submitted, submitted_before)
+      << "fallback-served request must not touch the batcher";
+}
+
+}  // namespace
+}  // namespace mlsim::service

@@ -1,0 +1,211 @@
+// Documentation link lint (tier-1): every relative Markdown link in the
+// repo's docs must resolve — file targets must exist on disk, anchor targets
+// must match a heading in the destination file. Dangling links are the
+// first thing to rot when code moves; failing the suite keeps the doc map
+// (docs/ARCHITECTURE.md) trustworthy.
+//
+// Scope: *.md at the repo root and under docs/. External links (http/https/
+// mailto) are out of scope, as is anything inside fenced code blocks.
+// Anchors are checked with GitHub's heading-slug rules: lowercase, spaces to
+// hyphens, punctuation dropped, duplicate slugs suffixed -1, -2, ...
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef MLSIM_SOURCE_DIR
+#error "MLSIM_SOURCE_DIR must be defined by the build"
+#endif
+
+std::vector<fs::path> doc_files() {
+  const fs::path root(MLSIM_SOURCE_DIR);
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(root)) {
+    if (e.is_regular_file() && e.path().extension() == ".md") {
+      files.push_back(e.path());
+    }
+  }
+  const fs::path docs = root / "docs";
+  if (fs::is_directory(docs)) {
+    for (const auto& e : fs::directory_iterator(docs)) {
+      if (e.is_regular_file() && e.path().extension() == ".md") {
+        files.push_back(e.path());
+      }
+    }
+  }
+  return files;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Strip fenced code blocks (``` ... ```); links inside them are not links.
+/// Keeps line structure so headings stay detectable.
+std::string strip_fences(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 3, "```") == 0) {
+      in_fence = !in_fence;
+      out << '\n';
+      continue;
+    }
+    out << (in_fence ? "" : line) << '\n';
+  }
+  return out.str();
+}
+
+/// GitHub-style slug of a heading: lowercase, strip `*_` formatting and
+/// punctuation (keeping alphanumerics, hyphens, spaces), spaces to hyphens.
+std::string slugify(std::string heading) {
+  std::string slug;
+  for (const char c : heading) {
+    const auto lc = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+    if (std::isalnum(static_cast<unsigned char>(lc)) || lc == '-' ||
+        lc == '_') {
+      slug.push_back(lc);
+    } else if (lc == ' ') {
+      slug.push_back('-');
+    }
+    // every other character is dropped
+  }
+  return slug;
+}
+
+/// All anchor slugs defined by a file's headings (with GitHub's -1, -2
+/// suffixes for duplicates).
+std::set<std::string> anchors_of(const std::string& text) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::istringstream in(strip_fences(text));
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hashes = 0;
+    while (hashes < line.size() && line[hashes] == '#') ++hashes;
+    if (hashes == 0 || hashes > 6 || hashes >= line.size() ||
+        line[hashes] != ' ') {
+      continue;
+    }
+    std::string heading = line.substr(hashes + 1);
+    // Inline code/emphasis markers don't contribute to the slug.
+    std::string cleaned;
+    for (const char c : heading) {
+      if (c != '`' && c != '*') cleaned.push_back(c);
+    }
+    const std::string base = slugify(cleaned);
+    const int n = seen[base]++;
+    anchors.insert(n == 0 ? base : base + "-" + std::to_string(n));
+  }
+  return anchors;
+}
+
+struct Link {
+  std::string target;  // raw (path, path#anchor, or #anchor)
+  std::size_t line = 0;
+};
+
+/// Extract `](target)` links outside fenced code blocks.
+std::vector<Link> links_of(const std::string& text) {
+  std::vector<Link> links;
+  std::istringstream in(strip_fences(text));
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t pos = 0;
+    while ((pos = line.find("](", pos)) != std::string::npos) {
+      const std::size_t start = pos + 2;
+      const std::size_t end = line.find(')', start);
+      if (end == std::string::npos) break;
+      std::string target = line.substr(start, end - start);
+      // Trim an optional title: [x](file.md "title")
+      if (const auto sp = target.find(' '); sp != std::string::npos) {
+        target = target.substr(0, sp);
+      }
+      if (!target.empty()) links.push_back({target, lineno});
+      pos = end + 1;
+    }
+  }
+  return links;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+TEST(DocsLint, EveryRelativeLinkAndAnchorResolves) {
+  const auto files = doc_files();
+  ASSERT_FALSE(files.empty()) << "no Markdown files found under "
+                              << MLSIM_SOURCE_DIR;
+
+  std::vector<std::string> errors;
+  for (const fs::path& file : files) {
+    const std::string text = read_file(file);
+    for (const Link& link : links_of(text)) {
+      if (is_external(link.target)) continue;
+
+      const std::size_t hash = link.target.find('#');
+      const std::string path_part =
+          hash == std::string::npos ? link.target : link.target.substr(0, hash);
+      const std::string anchor =
+          hash == std::string::npos ? "" : link.target.substr(hash + 1);
+
+      fs::path dest = file;  // #anchor-only links point at this file
+      if (!path_part.empty()) {
+        dest = file.parent_path() / path_part;
+        if (!fs::exists(dest)) {
+          errors.push_back(file.filename().string() + ":" +
+                           std::to_string(link.line) + ": dangling link " +
+                           link.target);
+          continue;
+        }
+      }
+      if (!anchor.empty()) {
+        if (!fs::is_regular_file(dest) || dest.extension() != ".md") {
+          errors.push_back(file.filename().string() + ":" +
+                           std::to_string(link.line) +
+                           ": anchor into a non-Markdown target " +
+                           link.target);
+          continue;
+        }
+        const auto anchors = anchors_of(read_file(dest));
+        if (anchors.count(anchor) == 0) {
+          errors.push_back(file.filename().string() + ":" +
+                           std::to_string(link.line) + ": dangling anchor " +
+                           link.target);
+        }
+      }
+    }
+  }
+
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+}
+
+// The slugger itself, pinned so anchor checks stay honest.
+TEST(DocsLint, SluggerMatchesGitHubRules) {
+  EXPECT_EQ(slugify("Which doc to read"), "which-doc-to-read");
+  EXPECT_EQ(slugify("max_batch / max_wait_us"), "max_batch--max_wait_us");
+  EXPECT_EQ(slugify("Bit-identity"), "bit-identity");
+  EXPECT_EQ(slugify("Exit codes (CLI)"), "exit-codes-cli");
+}
+
+}  // namespace

@@ -30,7 +30,7 @@ namespace {
 
 using namespace std::chrono_literals;
 
-TEST(ServiceSoak, ChaosRunResolvesEveryRequestTyped) {
+void run_chaos_soak(bool batching) {
   const trace::EncodedTrace tr =
       uarch::make_encoded_trace(trace::find_workload("mcf"), 6000, {}, 1);
   core::AnalyticPredictor primary, fallback;
@@ -61,6 +61,11 @@ TEST(ServiceSoak, ChaosRunResolvesEveryRequestTyped) {
   so.max_hang_requeues = 2;
   so.breaker.failure_threshold = 3;
   so.breaker.open_cooldown = 2;
+  // Continuous batching rides through the same chaos: cancelled/hung
+  // requests drop their queued windows, degraded partitions bypass the
+  // scheduler, and completed requests stay bit-identical.
+  so.batching = batching;
+  so.batcher.max_wait = std::chrono::microseconds(50);
   SimulationService svc(primary, fallback, so);
 
   constexpr int kRequests = 30;
@@ -122,6 +127,12 @@ TEST(ServiceSoak, ChaosRunResolvesEveryRequestTyped) {
   const std::string health = svc.health_json();
   EXPECT_NE(health.find("\"status\":"), std::string::npos);
   svc.shutdown();
+}
+
+TEST(ServiceSoak, ChaosRunResolvesEveryRequestTyped) { run_chaos_soak(false); }
+
+TEST(ServiceSoak, ChaosRunWithBatchingStaysBitIdentical) {
+  run_chaos_soak(true);
 }
 
 }  // namespace
