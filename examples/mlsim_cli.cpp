@@ -67,7 +67,15 @@
 //                        breakdown and the registry dump (text to stdout, or
 //                        to `path` — JSON when it ends in .json).
 //   --trace-out=<file>   record scoped spans and write Chrome trace-event
-//                        JSON loadable in chrome://tracing / Perfetto.
+//                        JSON loadable in chrome://tracing / Perfetto. The
+//                        target directory must exist and be writable (checked
+//                        up front, before the run).
+//   --telemetry-port=N   (serve/coordinator) serve live GET /metrics
+//                        (Prometheus), /healthz (health JSON, with
+//                        ?last_errors=N flight-recorder post-mortems), and
+//                        /tracez (Chrome trace) on 127.0.0.1:N while the
+//                        command runs (0 = ephemeral; the bound port is
+//                        printed).
 //
 // Exit codes: 0 success, 2 bad usage, 3 I/O failure (missing/unwritable
 // files), 4 corrupt data or violated invariant (CheckError), 5 any other
@@ -96,6 +104,7 @@
 #include "dist/worker.h"
 #include "net/socket.h"
 #include "obs/obs.h"
+#include "obs/telemetry_http.h"
 #include "service/service.h"
 #include "trace/stream.h"
 
@@ -187,7 +196,34 @@ bool parse_obs_flag(const std::string& s, ObsFlags& f) {
   return false;
 }
 
+/// Up-front rejection of an unwritable --trace-out target: the span dump
+/// happens at exit time, after the (possibly long) run — discovering only
+/// then that the directory does not exist wastes the whole run.
+void check_trace_out_writable(const std::string& path) {
+  if (path.empty()) return;
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  if (fs::exists(p) && fs::is_directory(p)) {
+    throw UsageError("--trace-out: '" + path + "' is a directory, not a file");
+  }
+  const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+  if (!fs::exists(dir) || !fs::is_directory(dir)) {
+    throw UsageError("--trace-out: directory '" + dir.string() +
+                     "' does not exist");
+  }
+  std::error_code ec;
+  const fs::path probe = dir / ".mlsim_trace_out_probe";
+  std::ofstream os(probe);
+  if (!os.is_open()) {
+    throw UsageError("--trace-out: directory '" + dir.string() +
+                     "' is not writable");
+  }
+  os.close();
+  fs::remove(probe, ec);
+}
+
 void enable_obs(const ObsFlags& f) {
+  check_trace_out_writable(f.trace_out);
   if (!f.active()) return;
   if (!obs::kCompiledIn) {
     std::fprintf(stderr, "note: built with MLSIM_OBS_DISABLE=ON; --metrics and "
@@ -538,6 +574,8 @@ int cmd_coordinator(int argc, char** argv) {
   std::size_t min_workers = 1, parallel = 4, gpus = 1, context = 64;
   int heartbeat_timeout_ms = 2000, run_timeout_ms = 120000;
   bool recovery = true, verify = false;
+  bool have_telemetry = false;
+  std::uint16_t telemetry_port = 0;
   device::FaultOptions fault;
   fault.seed = 1;
   bool any_fault = false;
@@ -546,6 +584,9 @@ int cmd_coordinator(int argc, char** argv) {
     if (parse_obs_flag(s, obs_flags)) continue;
     if (s.rfind("--port=", 0) == 0) {
       port = parse_port("--port", s.substr(7));
+    } else if (s.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = parse_port("--telemetry-port", s.substr(17));
+      have_telemetry = true;
     } else if (s.rfind("--workers=", 0) == 0) {
       min_workers =
           static_cast<std::size_t>(parse_positive("--workers", s.substr(10)));
@@ -582,10 +623,11 @@ int cmd_coordinator(int argc, char** argv) {
   if (pos.empty()) {
     std::fprintf(stderr,
                  "usage: mlsim_cli coordinator <benchmark|trace.bin> "
-                 "[instructions] [--port=N] [--workers=W] [--heartbeat-ms=M] "
-                 "[--timeout-ms=T] [--parallel=P] [--gpus=G] [--context=C] "
-                 "[--no-recovery] [--fault-worker-kill=R] [--fault-seed=S] "
-                 "[--verify] [--metrics[=path]] [--trace-out=file.json]\n");
+                 "[instructions] [--port=N] [--telemetry-port=N] [--workers=W] "
+                 "[--heartbeat-ms=M] [--timeout-ms=T] [--parallel=P] "
+                 "[--gpus=G] [--context=C] [--no-recovery] "
+                 "[--fault-worker-kill=R] [--fault-seed=S] [--verify] "
+                 "[--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
   }
   const std::size_t n =
@@ -610,6 +652,20 @@ int cmd_coordinator(int argc, char** argv) {
               "worker(s); join with:\n  mlsim_cli worker "
               "--connect=127.0.0.1:%u\n",
               coord.port(), min_workers, coord.port());
+  obs::TelemetryServer telemetry;
+  if (have_telemetry) {
+    if (obs::kCompiledIn && !obs::enabled()) obs::set_enabled(true);
+    obs::TelemetryOptions to;
+    to.port = telemetry_port;
+    to.health = [&coord](std::size_t errs) { return coord.cluster_json(errs); };
+    if (telemetry.start(std::move(to))) {
+      std::printf("telemetry on http://127.0.0.1:%u/metrics (also /healthz, "
+                  "/tracez)\n", telemetry.port());
+    } else {
+      std::fprintf(stderr, "note: built with MLSIM_OBS_DISABLE=ON; "
+                           "--telemetry-port is inert\n");
+    }
+  }
   std::fflush(stdout);
 
   const auto out = coord.run(tr, po);
@@ -678,6 +734,11 @@ int cmd_worker(int argc, char** argv) {
   }
   std::printf("worker joining %s:%u\n", cfg.host.c_str(), cfg.port);
   std::fflush(stdout);
+  // Record spans so a coordinator-propagated trace context (AssignMsg
+  // trace_id) produces worker spans in the merged cross-process trace. The
+  // ring is fixed-size and updates are lock-free, so this stays cheap even
+  // when no coordinator ever requests tracing.
+  if (obs::kCompiledIn) obs::set_enabled(true);
   const auto st = dist::run_worker(cfg);
   std::printf("worker done: %zu shard(s) computed across %zu session(s), "
               "%zu simulated kill(s)\n",
@@ -693,6 +754,8 @@ int cmd_serve(int argc, char** argv) {
   std::vector<std::string> pos;
   std::size_t requests = 32, workers = 2, queue = 8, parallel = 4;
   std::uint64_t deadline_ms = 0, stall_ms = 0;
+  bool have_telemetry = false;
+  std::uint16_t telemetry_port = 0;
   bool batching = false;
   std::size_t batch_max = 64;
   std::uint64_t batch_wait_us = 100;
@@ -704,6 +767,9 @@ int cmd_serve(int argc, char** argv) {
     if (parse_obs_flag(s, obs_flags)) continue;
     if (s.rfind("--requests=", 0) == 0) {
       requests = parse_size("--requests", s.substr(11));
+    } else if (s.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = parse_port("--telemetry-port", s.substr(17));
+      have_telemetry = true;
     } else if (s.rfind("--workers=", 0) == 0) {
       workers = parse_size("--workers", s.substr(10));
     } else if (s.rfind("--queue=", 0) == 0) {
@@ -744,8 +810,8 @@ int cmd_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mlsim_cli serve <benchmark|trace.bin> [instructions] "
                  "[--requests=N] [--workers=W] [--queue=Q] [--parallel=P] "
-                 "[--deadline-ms=D] [--batch[=N]] [--batch-wait-us=U] "
-                 "[--fault-kill=R] [--fault-corrupt=R] "
+                 "[--deadline-ms=D] [--telemetry-port=N] [--batch[=N]] "
+                 "[--batch-wait-us=U] [--fault-kill=R] [--fault-corrupt=R] "
                  "[--fault-straggler=R] [--fault-seed=S] [--stall-ms=M] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
@@ -764,6 +830,21 @@ int cmd_serve(int argc, char** argv) {
   so.batcher.max_wait = std::chrono::microseconds(batch_wait_us);
   service::SimulationService svc(primary, fallback, so);
   const device::FaultInjector injector(fault);
+
+  obs::TelemetryServer telemetry;
+  if (have_telemetry) {
+    if (obs::kCompiledIn && !obs::enabled()) obs::set_enabled(true);
+    obs::TelemetryOptions to;
+    to.port = telemetry_port;
+    to.health = [&svc](std::size_t errs) { return svc.health_json(errs); };
+    if (telemetry.start(std::move(to))) {
+      std::printf("telemetry on http://127.0.0.1:%u/metrics (also /healthz, "
+                  "/tracez)\n", telemetry.port());
+    } else {
+      std::fprintf(stderr, "note: built with MLSIM_OBS_DISABLE=ON; "
+                           "--telemetry-port is inert\n");
+    }
+  }
 
   std::printf("serving %zu requests (%zu workers, queue %zu, %zu sub-traces"
               "%s%s%s)\n",

@@ -1,10 +1,12 @@
 #include "dist/coordinator.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.h"
 #include "dist/protocol.h"
 #include "net/frame.h"
+#include "obs/flight_recorder.h"
 #include "obs/metric_names.h"
 #include "obs/obs.h"
 
@@ -16,6 +18,15 @@ double us_since(std::chrono::steady_clock::time_point t) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - t)
       .count();
+}
+
+/// Nonzero distributed trace id for one run: the fingerprint already hashes
+/// trace + options + plan, mixed with the session so repeated runs of the
+/// same work get distinct ids.
+std::uint64_t derive_trace_id(std::uint64_t fingerprint,
+                              std::uint64_t session) {
+  std::uint64_t id = fingerprint ^ (session * 0x9e3779b97f4a7c15ull);
+  return id == 0 ? 1 : id;
 }
 
 }  // namespace
@@ -53,25 +64,28 @@ void DistCoordinator::accept_joiners(const std::string& welcome) {
       std::string payload;
       if (!net::recv_frame(*conn, payload)) continue;
       const auto version = decode_hello(payload, conn->peer());
-      if (version != kProtocolVersion) {
+      if (version < kMinProtocolVersion || version > kProtocolVersion) {
         ++stats_.workers_rejected;
-        net::send_frame(*conn,
-                        encode_reject("protocol version " +
-                                      std::to_string(version) +
-                                      " unsupported (coordinator speaks " +
-                                      std::to_string(kProtocolVersion) + ")"));
+        net::send_frame(
+            *conn, encode_reject("protocol version " +
+                                 std::to_string(version) +
+                                 " unsupported (coordinator speaks " +
+                                 std::to_string(kMinProtocolVersion) + ".." +
+                                 std::to_string(kProtocolVersion) + ")"));
         continue;
       }
       net::send_frame(*conn, welcome);
+      auto w = std::make_unique<Worker>();
+      w->conn = std::move(*conn);
+      w->last_heard = Clock::now();
+      w->version = version;
+      w->uid = next_worker_uid_++;
+      workers_.push_back(std::move(w));
     } catch (const IoError&) {
       continue;  // died mid-handshake
     } catch (const CheckError&) {
       continue;  // spoke garbage instead of Hello
     }
-    auto w = std::make_unique<Worker>();
-    w->conn = std::move(*conn);
-    w->last_heard = Clock::now();
-    workers_.push_back(std::move(w));
     ++stats_.workers_joined;
     MLSIM_COUNTER_ADD(obs::names::kDistWorkersJoined, 1);
   }
@@ -120,8 +134,12 @@ void DistCoordinator::assign_pending(RunState& rs) {
     a.part_lo = rs.plan->shard_lo(s);
     a.part_hi = rs.plan->shard_hi(s);
     a.attempt = static_cast<std::uint32_t>(rs.shards[s].attempts);
+    a.trace_id = trace_id_;
+    a.parent_span = obs::current_parent_span();
     try {
-      net::send_frame(idle->conn, encode_assign(a));
+      // v1 workers get byte-exact v1 payloads: their strict decoders treat
+      // trailing bytes as corruption.
+      net::send_frame(idle->conn, encode_assign(a, idle->version));
     } catch (const IoError&) {
       drop_worker(*idle, rs);
       --s;  // retry this shard against the remaining pool
@@ -156,9 +174,23 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
   try {
     switch (peek_type(payload, w.conn.peer())) {
       case MsgType::kHeartbeat: {
-        decode_heartbeat(payload, w.conn.peer());
+        const HeartbeatMsg hb = decode_heartbeat(payload, w.conn.peer());
         ++stats_.heartbeats;
         MLSIM_COUNTER_ADD(obs::names::kDistHeartbeats, 1);
+        if (hb.busy_ratio >= 0.0) {
+          w.busy_ratio = std::min(1.0, hb.busy_ratio);
+          update_busy_gauge();
+        }
+        if (obs::enabled()) {
+          // Fold the worker's counter deltas into the cluster rollups.
+          for (const RollupDelta& d : hb.rollups) {
+            if (d.id < kNumRollupCounters) {
+              obs::default_registry()
+                  .counter(kRollupCounters[d.id].cluster)
+                  .add(d.delta);
+            }
+          }
+        }
         break;
       }
       case MsgType::kResult: {
@@ -180,6 +212,11 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
         rs.shards[s].outcome = std::move(d.outcome);
         rs.shards[s].state = ShardState::kDone;
         rs.shards[s].owner = nullptr;
+        if (d.trace_id != 0 && !d.spans.empty() && obs::enabled()) {
+          // Merge the worker's span buffer into the cross-process trace
+          // under its stable uid (coordinator itself is pid 1).
+          obs::add_remote_spans(1 + w.uid, d.trace_id, std::move(d.spans));
+        }
         ++rs.done;
         ++w.completed;
         ++stats_.shards_completed;
@@ -243,6 +280,14 @@ core::ParallelSimResult DistCoordinator::run(
   ++session_;
   const core::ShardPlan plan = core::ShardPlan::make(n, opts);
   const std::uint64_t fp = core::run_fingerprint(trace, opts, plan.parts);
+  if (obs::enabled()) {
+    // One distributed trace per run: the id rides on every Assign, workers
+    // record under it, and their Result span buffers merge back here.
+    trace_id_ = derive_trace_id(fp, session_);
+    obs::set_trace_context(trace_id_, 0);
+  } else {
+    trace_id_ = 0;
+  }
   const std::string welcome =
       encode_welcome(session_, fp, RunConfig::from_options(opts), trace);
 
@@ -315,6 +360,7 @@ core::ParallelSimResult DistCoordinator::run(
       }
     }
     reap_dead_workers();
+    refresh_health(&rs);
   }
 
   core::ShardMerger merger(plan, opts.record_predictions,
@@ -327,7 +373,73 @@ core::ParallelSimResult DistCoordinator::run(
                         static_cast<double>(w->completed));
     }
   }
+  refresh_health(&rs);
   return res;
+}
+
+void DistCoordinator::update_busy_gauge() {
+  // Mean busy fraction over live, reporting workers — one declared gauge;
+  // per-worker ratios are in cluster_json.
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (const auto& w : workers_) {
+    if (w->dead || w->busy_ratio < 0.0) continue;
+    sum += w->busy_ratio;
+    ++cnt;
+  }
+  if (cnt > 0) {
+    MLSIM_GAUGE_SET(obs::names::kClusterWorkerBusyRatio,
+                    sum / static_cast<double>(cnt));
+  }
+}
+
+void DistCoordinator::refresh_health(const RunState* rs) {
+  std::ostringstream os;
+  os << "{\"status\":\"" << (rs != nullptr ? "running" : "idle")
+     << "\",\"session\":" << session_
+     << ",\"workers_connected\":" << workers_.size();
+  if (rs != nullptr) {
+    os << ",\"shards_done\":" << rs->done
+       << ",\"shards_total\":" << rs->shards.size();
+  }
+  os << ",\"workers\":[";
+  bool first = true;
+  for (const auto& w : workers_) {
+    os << (first ? "" : ",") << "{\"id\":" << w->uid
+       << ",\"version\":" << w->version << ",\"completed\":" << w->completed
+       << ",\"suspect\":" << (w->suspect ? "true" : "false")
+       << ",\"busy_ratio\":";
+    if (w->busy_ratio >= 0.0) {
+      os << w->busy_ratio;
+    } else {
+      os << "null";
+    }
+    os << '}';
+    first = false;
+  }
+  os << "],\"stats\":{\"workers_joined\":" << stats_.workers_joined
+     << ",\"workers_lost\":" << stats_.workers_lost
+     << ",\"workers_rejected\":" << stats_.workers_rejected
+     << ",\"shards_dispatched\":" << stats_.shards_dispatched
+     << ",\"shards_completed\":" << stats_.shards_completed
+     << ",\"reassignments\":" << stats_.reassignments
+     << ",\"duplicates_dropped\":" << stats_.duplicates_dropped
+     << ",\"heartbeats\":" << stats_.heartbeats << "}}";
+  std::lock_guard lk(health_mu_);
+  health_json_ = os.str();
+}
+
+std::string DistCoordinator::cluster_json(std::size_t last_errors) const {
+  std::string doc;
+  {
+    std::lock_guard lk(health_mu_);
+    doc = health_json_;
+  }
+  if (last_errors > 0 && !doc.empty() && doc.back() == '}') {
+    doc.insert(doc.size() - 1, ",\"last_errors\":" +
+                                   obs::flight::last_errors_json(last_errors));
+  }
+  return doc;
 }
 
 }  // namespace mlsim::dist

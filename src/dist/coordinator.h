@@ -13,7 +13,9 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/shard.h"
@@ -80,6 +82,12 @@ class DistCoordinator final : public service::RemoteBackend {
   /// Send Shutdown to every connected worker and drop the connections.
   void shutdown_workers();
 
+  /// Thread-safe JSON snapshot of cluster state for the telemetry /healthz
+  /// endpoint: session, shard progress, per-worker busy ratios, and run
+  /// stats. Refreshed by the run loop each tick; `last_errors > 0` appends
+  /// the flight-recorder post-mortems (docs/OBSERVABILITY.md).
+  std::string cluster_json(std::size_t last_errors = 0) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -93,6 +101,14 @@ class DistCoordinator final : public service::RemoteBackend {
     Clock::time_point last_heard;
     Clock::time_point assigned_at;
     std::size_t completed = 0;
+    /// Protocol version from the worker's Hello; v2 additions are only sent
+    /// to (and expected from) workers that speak them.
+    std::uint32_t version = 0;
+    /// Stable join-order id: pid of the worker's spans in the merged Chrome
+    /// trace (the coordinator itself is pid 1), and "id" in cluster_json.
+    std::uint32_t uid = 0;
+    /// Last reported busy/wall fraction; negative until a v2 heartbeat.
+    double busy_ratio = -1.0;
   };
 
   enum class ShardState { kPending, kAssigned, kDone };
@@ -115,12 +131,23 @@ class DistCoordinator final : public service::RemoteBackend {
   void reassign(std::size_t shard_idx, RunState& rs);
   void assign_pending(RunState& rs);
   void reap_dead_workers();
+  /// Rebuild the cluster_json document (rs may be null between runs).
+  void refresh_health(const RunState* rs);
+  void update_busy_gauge();
 
   net::TcpListener listener_;
   CoordinatorOptions opts_;
   CoordinatorStats stats_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t session_ = 0;
+  std::uint32_t next_worker_uid_ = 1;
+  /// Distributed trace id of the current run (0 between runs).
+  std::uint64_t trace_id_ = 0;
+
+  /// cluster_json is served from the telemetry thread while run() mutates
+  /// everything above, so the document is prebuilt under its own mutex.
+  mutable std::mutex health_mu_;
+  std::string health_json_ = "{\"status\":\"idle\"}";
 };
 
 }  // namespace mlsim::dist

@@ -203,7 +203,7 @@ std::string encode_reject(const std::string& reason) {
   return w.take();
 }
 
-std::string encode_assign(const AssignMsg& m) {
+std::string encode_assign(const AssignMsg& m, std::uint32_t protocol_version) {
   Writer w;
   put_type(w, MsgType::kAssign);
   w.pod(m.session);
@@ -211,24 +211,48 @@ std::string encode_assign(const AssignMsg& m) {
   w.pod(m.part_lo);
   w.pod(m.part_hi);
   w.pod(m.attempt);
+  if (protocol_version >= 2) {
+    w.pod(m.trace_id);
+    w.pod(m.parent_span);
+  }
   return w.take();
 }
 
-std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o) {
+std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o,
+                          std::uint64_t trace_id,
+                          const std::vector<obs::SpanRecord>& spans) {
   Writer w;
   put_type(w, MsgType::kResult);
   w.pod(h.session);
   w.pod(h.shard);
   w.pod(h.attempt);
   put_outcome(w, o);
+  w.pod(trace_id);
+  w.pod(static_cast<std::uint64_t>(spans.size()));
+  for (const obs::SpanRecord& s : spans) {
+    w.str(s.name);
+    w.pod(s.ts_ns);
+    w.pod(s.dur_ns);
+    w.pod(s.depth);
+    w.pod(s.tid);
+  }
   return w.take();
 }
 
-std::string encode_heartbeat(const HeartbeatMsg& m) {
+std::string encode_heartbeat(const HeartbeatMsg& m,
+                             std::uint32_t protocol_version) {
   Writer w;
   put_type(w, MsgType::kHeartbeat);
   w.pod(m.session);
   w.pod(m.shard);
+  if (protocol_version >= 2) {
+    w.pod(m.busy_ratio);
+    w.pod(static_cast<std::uint32_t>(m.rollups.size()));
+    for (const RollupDelta& d : m.rollups) {
+      w.pod(d.id);
+      w.pod(d.delta);
+    }
+  }
   return w.take();
 }
 
@@ -310,6 +334,10 @@ AssignMsg decode_assign(std::string_view payload, const std::string& context) {
   m.part_lo = r.pod<std::uint64_t>();
   m.part_hi = r.pod<std::uint64_t>();
   m.attempt = r.pod<std::uint32_t>();
+  if (r.remaining() > 0) {  // v2 trailing trace context
+    m.trace_id = r.pod<std::uint64_t>();
+    m.parent_span = r.pod<std::uint64_t>();
+  }
   r.finish();
   return m;
 }
@@ -323,6 +351,20 @@ ResultDecoded decode_result(std::string_view payload,
   d.header.shard = r.pod<std::uint64_t>();
   d.header.attempt = r.pod<std::uint32_t>();
   d.outcome = get_outcome(r);
+  if (r.remaining() > 0) {  // v2 trailing span buffer
+    d.trace_id = r.pod<std::uint64_t>();
+    const auto n = r.pod<std::uint64_t>();
+    d.spans.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      obs::SpanRecord s;
+      s.name = r.str();
+      s.ts_ns = r.pod<std::uint64_t>();
+      s.dur_ns = r.pod<std::uint64_t>();
+      s.depth = r.pod<std::uint32_t>();
+      s.tid = r.pod<std::uint32_t>();
+      d.spans.push_back(std::move(s));
+    }
+  }
   r.finish();
   return d;
 }
@@ -334,6 +376,17 @@ HeartbeatMsg decode_heartbeat(std::string_view payload,
   HeartbeatMsg m;
   m.session = r.pod<std::uint64_t>();
   m.shard = r.pod<std::uint64_t>();
+  if (r.remaining() > 0) {  // v2 trailing busy_ratio + rollup deltas
+    m.busy_ratio = r.pod<double>();
+    const auto n = r.pod<std::uint32_t>();
+    m.rollups.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      RollupDelta d;
+      d.id = r.pod<std::uint32_t>();
+      d.delta = r.pod<std::uint64_t>();
+      m.rollups.push_back(d);
+    }
+  }
   r.finish();
   return m;
 }

@@ -21,18 +21,28 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/wire.h"
 #include "core/shard.h"
 #include "device/fault.h"
+#include "obs/metric_names.h"
+#include "obs/trace_event.h"
 #include "trace/trace.h"
 
 namespace mlsim::dist {
 
 /// Protocol (message schema) version; distinct from wire::kWireVersion,
 /// which covers only the envelope layout. A coordinator Rejects workers
-/// that Hello with any other version.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// that Hello with a version outside [kMinProtocolVersion,
+/// kProtocolVersion] and speaks each worker's own version back to it.
+///
+/// v2 (docs/OBSERVABILITY.md): Assign carries the distributed trace
+/// context, Result piggybacks the worker's span buffer, Heartbeat adds
+/// busy_ratio and cluster-rollup counter deltas. Every v2 addition is a
+/// trailing optional field, so v2 decoders accept v1 payloads untouched.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 enum class MsgType : std::uint32_t {
   kHello = 1,
@@ -83,6 +93,10 @@ struct AssignMsg {
   std::uint64_t part_lo = 0;
   std::uint64_t part_hi = 0;
   std::uint32_t attempt = 0;
+  // v2: distributed trace context the worker records its spans under
+  // (0 = none; see obs::set_trace_context).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 struct ResultHeader {
@@ -91,12 +105,43 @@ struct ResultHeader {
   std::uint32_t attempt = 0;
 };
 
+/// One worker-local counter delta piggybacked on a v2 heartbeat; `id`
+/// indexes kRollupCounters.
+struct RollupDelta {
+  std::uint32_t id = 0;
+  std::uint64_t delta = 0;
+};
+
 struct HeartbeatMsg {
   std::uint64_t session = 0;
   /// Shard being computed, or kIdleShard between assignments.
   std::uint64_t shard = 0;
+  // v2: fraction of wall time spent inside run_partition since the previous
+  // heartbeat, in [0, 1]; negative = not reported (v1 worker, or first
+  // heartbeat). Folded into the cluster.worker.busy_ratio gauge.
+  double busy_ratio = -1.0;
+  std::vector<RollupDelta> rollups;
 };
 inline constexpr std::uint64_t kIdleShard = ~0ull;
+
+/// Worker-local counters shipped as heartbeat deltas and folded into the
+/// coordinator's cluster-rollup metrics. The wire carries positional ids,
+/// so the table order is part of protocol v2 — append only.
+struct RollupCounter {
+  const char* local;    // worker-side registry name
+  const char* cluster;  // coordinator-side rollup name
+};
+inline constexpr RollupCounter kRollupCounters[] = {
+    {obs::names::kParSimInstructions, obs::names::kClusterWorkerInstructions},
+    {obs::names::kParSimPartitionsDone,
+     obs::names::kClusterWorkerPartitionsDone},
+    {obs::names::kParSimRetries, obs::names::kClusterWorkerRetries},
+    {obs::names::kParSimAnomalies, obs::names::kClusterWorkerAnomalies},
+    {obs::names::kParSimDegradedPartitions,
+     obs::names::kClusterWorkerDegraded},
+};
+inline constexpr std::uint32_t kNumRollupCounters =
+    sizeof(kRollupCounters) / sizeof(kRollupCounters[0]);
 
 struct WorkerErrorMsg {
   std::uint64_t session = 0;
@@ -116,9 +161,18 @@ std::string encode_welcome(std::uint64_t session, std::uint64_t fingerprint,
                            const RunConfig& cfg,
                            const trace::EncodedTrace& trace);
 std::string encode_reject(const std::string& reason);
-std::string encode_assign(const AssignMsg& m);
-std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o);
-std::string encode_heartbeat(const HeartbeatMsg& m);
+/// `protocol_version` selects the schema the *peer* speaks: a v2
+/// coordinator keeps sending byte-exact v1 payloads to v1 workers (whose
+/// strict decoders reject trailing bytes).
+std::string encode_assign(const AssignMsg& m,
+                          std::uint32_t protocol_version = kProtocolVersion);
+/// v2 appends trace_id and the worker's span buffer after the outcome.
+std::string encode_result(const ResultHeader& h, const core::ShardOutcome& o,
+                          std::uint64_t trace_id = 0,
+                          const std::vector<obs::SpanRecord>& spans = {});
+std::string encode_heartbeat(const HeartbeatMsg& m,
+                             std::uint32_t protocol_version =
+                                 kProtocolVersion);
 std::string encode_shutdown();
 std::string encode_worker_error(const WorkerErrorMsg& m);
 
@@ -138,6 +192,9 @@ AssignMsg decode_assign(std::string_view payload, const std::string& context);
 struct ResultDecoded {
   ResultHeader header;
   core::ShardOutcome outcome;
+  // v2 trailing fields; zero/empty when a v1 worker sent the result.
+  std::uint64_t trace_id = 0;
+  std::vector<obs::SpanRecord> spans;
 };
 ResultDecoded decode_result(std::string_view payload,
                             const std::string& context);

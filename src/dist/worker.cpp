@@ -1,5 +1,6 @@
 #include "dist/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -9,10 +10,50 @@
 #include "dist/protocol.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/obs.h"
 
 namespace mlsim::dist {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-connection telemetry the worker piggybacks on v2 heartbeats: the
+/// busy/wall ratio since the previous heartbeat (pure clock math — works
+/// with obs disabled) and deltas of the kRollupCounters registry values.
+struct WorkerTelemetry {
+  Clock::time_point last_heartbeat = Clock::now();
+  std::uint64_t busy_ns = 0;  // time inside run_partition since last_heartbeat
+  std::uint64_t last_value[kNumRollupCounters] = {};
+
+  HeartbeatMsg make(std::uint64_t session, std::uint64_t shard) {
+    HeartbeatMsg hb;
+    hb.session = session;
+    hb.shard = shard;
+    const Clock::time_point now = Clock::now();
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             last_heartbeat)
+            .count());
+    hb.busy_ratio =
+        wall_ns > 0 ? std::min(1.0, static_cast<double>(busy_ns) /
+                                        static_cast<double>(wall_ns))
+                    : 0.0;
+    last_heartbeat = now;
+    busy_ns = 0;
+    if (obs::enabled()) {
+      for (std::uint32_t i = 0; i < kNumRollupCounters; ++i) {
+        const std::uint64_t v =
+            obs::default_registry().counter(kRollupCounters[i].local).value();
+        if (v > last_value[i]) {
+          hb.rollups.push_back(RollupDelta{i, v - last_value[i]});
+        }
+        last_value[i] = v;
+      }
+    }
+    return hb;
+  }
+};
 
 /// Everything a Welcome establishes. Heap-allocated so the options'
 /// injector pointer stays stable for the session's lifetime.
@@ -61,12 +102,13 @@ WorkerStats run_worker(const WorkerConfig& cfg) {
     net::TcpConn conn = connect_with_retry(cfg);
     net::send_frame(conn, encode_hello(kProtocolVersion));
     std::unique_ptr<Session> session;
+    WorkerTelemetry telemetry;
     std::string payload;
     for (;;) {
       // Heartbeat while idle so the coordinator can tell "slow" from "dead".
       while (!conn.readable(cfg.heartbeat_ms)) {
-        net::send_frame(conn, encode_heartbeat(
-                                  {session ? session->id : 0, kIdleShard}));
+        net::send_frame(conn, encode_heartbeat(telemetry.make(
+                                  session ? session->id : 0, kIdleShard)));
       }
       if (!net::recv_frame(conn, payload)) return stats;  // coordinator gone
       switch (peek_type(payload, conn.peer())) {
@@ -103,14 +145,43 @@ WorkerStats run_worker(const WorkerConfig& cfg) {
             break;
           }
           try {
+            // Record this shard's spans under the propagated trace context
+            // so the coordinator's merged Chrome trace shows one trace_id
+            // across every process (docs/OBSERVABILITY.md).
+            const bool tracing = obs::enabled() && a.trace_id != 0;
+            if (tracing) obs::set_trace_context(a.trace_id, a.parent_span);
+            const std::uint64_t shard_t0 = obs::session_now_ns();
             core::ShardEngine engine(s.predictor, s.trace, s.opts, s.plan);
             for (std::size_t p = a.part_lo; p < a.part_hi; ++p) {
-              engine.run_partition(p);
-              net::send_frame(conn, encode_heartbeat({s.id, a.shard}));
+              const Clock::time_point t0 = Clock::now();
+              {
+                MLSIM_TRACE_SPAN("worker/partition");
+                engine.run_partition(p);
+              }
+              telemetry.busy_ns += static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - t0)
+                      .count());
+              net::send_frame(conn,
+                              encode_heartbeat(telemetry.make(s.id, a.shard)));
+            }
+            std::vector<obs::SpanRecord> spans;
+            if (tracing) {
+              obs::record_complete_event("worker/shard", shard_t0,
+                                         obs::session_now_ns() - shard_t0, 0);
+              // Only spans from this assignment window: an in-process worker
+              // shares the ring with its host, and a long-lived process
+              // accumulates spans across shards.
+              spans = obs::snapshot_spans();
+              std::erase_if(spans, [shard_t0](const obs::SpanRecord& sp) {
+                return sp.ts_ns < shard_t0;
+              });
             }
             net::send_frame(
-                conn, encode_result({s.id, a.shard, a.attempt},
-                                    engine.block_outcome(a.part_lo, a.part_hi)));
+                conn,
+                encode_result({s.id, a.shard, a.attempt},
+                              engine.block_outcome(a.part_lo, a.part_hi),
+                              tracing ? a.trace_id : 0, spans));
             ++stats.shards_computed;
           } catch (const CheckError& e) {
             // Deterministic content failure: rerunning the shard anywhere

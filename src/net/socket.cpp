@@ -125,6 +125,22 @@ bool TcpConn::recv_all(void* data, std::size_t size, bool eof_ok) {
   return true;
 }
 
+std::size_t TcpConn::recv_some(void* data, std::size_t cap) {
+  check(valid(), "recv on a closed connection");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("recv from " + peer_ + ": " + errno_text());
+    }
+    if (n > 0) {
+      MLSIM_COUNTER_ADD(obs::names::kNetBytesReceived,
+                        static_cast<std::uint64_t>(n));
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
 bool TcpConn::readable(int timeout_ms) const {
   check(valid(), "poll on a closed connection");
   pollfd pfd{fd_, POLLIN, 0};

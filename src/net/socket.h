@@ -52,6 +52,11 @@ class TcpConn {
   /// Returns false (reads nothing) on clean EOF at a message boundary when
   /// `eof_ok`; EOF with partial data is always an IoError.
   bool recv_all(void* data, std::size_t size, bool eof_ok = false);
+  /// Read whatever is available, up to `cap` bytes (blocking until at least
+  /// one byte or EOF). Returns the byte count; 0 means EOF. Throws IoError
+  /// on failure. For delimiter-framed protocols (the HTTP telemetry
+  /// endpoint) where the message length is not known up front.
+  std::size_t recv_some(void* data, std::size_t cap);
   /// Wait up to timeout_ms for the stream to become readable (0 = poll,
   /// negative = block). True when readable (including EOF).
   bool readable(int timeout_ms) const;

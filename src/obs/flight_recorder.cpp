@@ -1,0 +1,140 @@
+#include "obs/flight_recorder.h"
+
+#ifndef MLSIM_OBS_DISABLE
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace_event.h"
+
+namespace mlsim::obs::flight {
+
+namespace {
+
+// One lifecycle event. `stamp` holds the claim index + 1 and is published
+// last (release); readers treat a slot as consistent only if the stamp is
+// nonzero and unchanged across the field reads. All fields are relaxed
+// atomics, so a racing overwrite is a skipped slot, never a data race.
+struct Slot {
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic<std::uint64_t> request_id{0};
+  std::atomic<std::uint64_t> t_ns{0};
+  std::atomic<std::uint64_t> detail{0};
+  std::atomic<std::uint32_t> ev{0};
+};
+
+struct Recorder {
+  Slot ring[kRingCapacity];
+  std::atomic<std::uint64_t> head{0};  // total events ever claimed
+
+  std::atomic<std::uint64_t> error_ids[kErrorRingCapacity];
+  std::atomic<std::uint64_t> error_head{0};
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder();  // leaked: outlives exiting threads
+  return *r;
+}
+
+struct GatheredEvent {
+  std::uint64_t order;  // claim index: recording order across threads
+  std::uint64_t t_ns;
+  std::uint64_t detail;
+  std::uint32_t ev;
+};
+
+/// Consistent copy of one slot; false if the slot was empty or mid-write.
+bool read_slot(const Slot& s, std::uint64_t* out_id, GatheredEvent* out) {
+  const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+  if (before == 0) return false;
+  *out_id = s.request_id.load(std::memory_order_relaxed);
+  out->t_ns = s.t_ns.load(std::memory_order_relaxed);
+  out->detail = s.detail.load(std::memory_order_relaxed);
+  out->ev = s.ev.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.stamp.load(std::memory_order_relaxed) != before) return false;
+  out->order = before - 1;
+  return true;
+}
+
+}  // namespace
+
+void record(std::uint64_t request_id, Event ev, std::uint64_t detail) {
+  if (!obs::enabled()) return;
+  Recorder& r = recorder();
+  const std::uint64_t idx = r.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = r.ring[idx % kRingCapacity];
+  // Invalidate first so readers never pair the new stamp with old fields.
+  s.stamp.store(0, std::memory_order_release);
+  s.request_id.store(request_id, std::memory_order_relaxed);
+  s.t_ns.store(session_now_ns(), std::memory_order_relaxed);
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.ev.store(static_cast<std::uint32_t>(ev), std::memory_order_relaxed);
+  s.stamp.store(idx + 1, std::memory_order_release);
+
+  if (is_error(ev)) {
+    const std::uint64_t e =
+        r.error_head.fetch_add(1, std::memory_order_relaxed);
+    r.error_ids[e % kErrorRingCapacity].store(request_id,
+                                              std::memory_order_release);
+  }
+}
+
+std::uint64_t recorded() {
+  return recorder().head.load(std::memory_order_relaxed);
+}
+
+std::string last_errors_json(std::size_t n) {
+  Recorder& r = recorder();
+
+  // Most recent distinct bad-outcome request ids, newest first.
+  std::vector<std::uint64_t> ids;
+  const std::uint64_t e_head = r.error_head.load(std::memory_order_acquire);
+  const std::uint64_t e_span =
+      std::min<std::uint64_t>(e_head, kErrorRingCapacity);
+  for (std::uint64_t k = 0; k < e_span && ids.size() < n; ++k) {
+    const std::uint64_t id =
+        r.error_ids[(e_head - 1 - k) % kErrorRingCapacity].load(
+            std::memory_order_acquire);
+    if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+  }
+
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::vector<GatheredEvent> events;
+    for (const Slot& s : r.ring) {
+      std::uint64_t id = 0;
+      GatheredEvent ge;
+      if (read_slot(s, &id, &ge) && id == ids[i]) events.push_back(ge);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const GatheredEvent& a, const GatheredEvent& b) {
+                return a.order < b.order;
+              });
+    os << (i ? "," : "") << "{\"id\":" << ids[i] << ",\"events\":[";
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      os << (k ? "," : "") << "{\"ev\":\""
+         << to_string(static_cast<Event>(events[k].ev))
+         << "\",\"t_ns\":" << events[k].t_ns
+         << ",\"detail\":" << events[k].detail << '}';
+    }
+    os << "]}";
+  }
+  os << ']';
+  return os.str();
+}
+
+void reset() {
+  Recorder& r = recorder();
+  for (Slot& s : r.ring) s.stamp.store(0, std::memory_order_release);
+  r.head.store(0, std::memory_order_relaxed);
+  r.error_head.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mlsim::obs::flight
+
+#endif  // MLSIM_OBS_DISABLE

@@ -119,6 +119,28 @@ inline constexpr const char* kDistShardLatencyUs = "dist.shard_latency_us";
 // Completed shards per worker connection, recorded when a run finishes.
 inline constexpr const char* kDistShardsPerWorker = "dist.shards_per_worker";
 
+// -- cluster rollups (coordinator-side aggregation of worker heartbeat
+//    deltas, src/dist/coordinator.cpp; docs/OBSERVABILITY.md) ----------------
+inline constexpr const char* kClusterWorkerInstructions =
+    "cluster.worker.instructions";
+inline constexpr const char* kClusterWorkerPartitionsDone =
+    "cluster.worker.partitions_done";
+inline constexpr const char* kClusterWorkerRetries =
+    "cluster.worker.partition_retries";
+inline constexpr const char* kClusterWorkerAnomalies =
+    "cluster.worker.anomalous_predictions";
+inline constexpr const char* kClusterWorkerDegraded =
+    "cluster.worker.degraded_partitions";
+// Mean fraction of wall time live workers spent inside run_partition since
+// their previous heartbeat (docs/DISTRIBUTED.md); per-worker ratios are in
+// the coordinator's cluster_json.
+inline constexpr const char* kClusterWorkerBusyRatio =
+    "cluster.worker.busy_ratio";
+
+// -- telemetry (HTTP endpoint, src/obs/telemetry_http.cpp) -------------------
+inline constexpr const char* kTelemetryHttpRequests = "telemetry.http_requests";
+inline constexpr const char* kTelemetryHttpErrors = "telemetry.http_errors";
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 struct BuiltinMetric {
@@ -201,6 +223,14 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kDistWorkersLost, MetricKind::kCounter},
     {kDistShardLatencyUs, MetricKind::kHistogram},
     {kDistShardsPerWorker, MetricKind::kHistogram},
+    {kClusterWorkerInstructions, MetricKind::kCounter},
+    {kClusterWorkerPartitionsDone, MetricKind::kCounter},
+    {kClusterWorkerRetries, MetricKind::kCounter},
+    {kClusterWorkerAnomalies, MetricKind::kCounter},
+    {kClusterWorkerDegraded, MetricKind::kCounter},
+    {kClusterWorkerBusyRatio, MetricKind::kGauge},
+    {kTelemetryHttpRequests, MetricKind::kCounter},
+    {kTelemetryHttpErrors, MetricKind::kCounter},
 };
 
 inline constexpr std::size_t kNumBuiltinMetrics =

@@ -36,6 +36,17 @@ void json_number(std::ostream& os, double v) {
   }
 }
 
+/// Prometheus-safe number: the text format spells non-finite values out.
+void prom_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else if (std::isnan(v)) {
+    os << "NaN";
+  } else {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  }
+}
+
 }  // namespace
 
 std::uint64_t Gauge::encode(double v) { return dbits(v); }
@@ -247,6 +258,73 @@ void Registry::write_json(std::ostream& os) const {
     first = false;
   }
   os << "}}";
+}
+
+std::string prom_name(const std::string& name) {
+  std::string out = "mlsim_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [name, e] : metrics_) {
+    const std::string pn = prom_name(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        // Prometheus counters carry the `_total` suffix by convention; the
+        // TYPE line names the full series.
+        os << "# TYPE " << pn << "_total counter\n"
+           << pn << "_total " << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << pn << " gauge\n" << pn << ' ';
+        prom_number(os, e.gauge->value());
+        os << '\n';
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot s = e.histogram->snapshot();
+        os << "# TYPE " << pn << " histogram\n";
+        // Cumulative buckets; `_count` is derived from the same bucket walk
+        // (not the independent count_ atomic) so `+Inf == _count` holds even
+        // when sampled mid-record. The storage histogram's last bucket is
+        // open-ended (overflow lands there), so it maps to `+Inf`, not to
+        // its nominal finite edge.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i + 1 < s.counts.size(); ++i) {
+          cum += s.counts[i];
+          os << pn << "_bucket{le=\"";
+          prom_number(os, s.upper_edges[i]);
+          os << "\"} " << cum << '\n';
+        }
+        cum += s.counts.empty() ? 0 : s.counts.back();
+        os << pn << "_bucket{le=\"+Inf\"} " << cum << '\n';
+        os << pn << "_sum ";
+        prom_number(os, s.sum);
+        os << '\n' << pn << "_count " << cum << '\n';
+        break;
+      }
+    }
+  }
 }
 
 void Registry::reset() {

@@ -109,6 +109,12 @@ class Registry {
   /// Single JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   void write_json(std::ostream& os) const;
 
+  /// Prometheus text exposition format 0.0.4 (what `GET /metrics` serves):
+  /// names are prefixed `mlsim_` and dots become underscores, counters gain
+  /// the `_total` suffix, histograms emit cumulative `_bucket{le="..."}` /
+  /// `_sum` / `_count` series, and every family carries a `# TYPE` line.
+  void write_prometheus(std::ostream& os) const;
+
   /// Zero every metric (keeps registrations).
   void reset();
 
@@ -128,5 +134,13 @@ class Registry {
 
 /// Process-global registry with the built-in engine metrics pre-registered.
 Registry& default_registry();
+
+/// `mlsim.foo.bar_ns` -> `mlsim_foo_bar_ns`: prefix plus Prometheus-legal
+/// name characters only (dots and other punctuation become underscores).
+std::string prom_name(const std::string& name);
+
+/// Escape a string for a Prometheus label value or HELP text: backslash,
+/// double quote, and newline get backslash-escaped.
+std::string prom_escape(const std::string& s);
 
 }  // namespace mlsim::obs

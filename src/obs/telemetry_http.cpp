@@ -1,0 +1,210 @@
+#include "obs/telemetry_http.h"
+
+#ifdef MLSIM_OBS_DISABLE
+
+// Endpoint-free build: no socket, no thread, no registry reference.
+namespace mlsim::obs {
+
+struct TelemetryServer::Impl {};
+TelemetryServer::TelemetryServer() = default;
+TelemetryServer::~TelemetryServer() = default;
+bool TelemetryServer::start(TelemetryOptions) { return false; }
+void TelemetryServer::stop() {}
+std::uint16_t TelemetryServer::port() const { return 0; }
+
+}  // namespace mlsim::obs
+
+#else  // telemetry compiled in
+
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/obs.h"
+
+namespace mlsim::obs {
+
+namespace {
+
+/// Accept-loop granularity: how quickly stop() takes effect.
+constexpr int kAcceptTimeoutMs = 50;
+/// Per-connection patience for the request head to arrive.
+constexpr int kReadTimeoutMs = 1000;
+/// Longest request head we accept; telemetry requests are one short line.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+struct Request {
+  std::string method;
+  std::string path;    // before any '?'
+  std::string query;   // after '?', may be empty
+  bool valid = false;
+};
+
+Request parse_request_head(const std::string& head) {
+  Request r;
+  const std::size_t eol = head.find("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return r;
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return r;
+  r.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return r;
+  const std::size_t q = target.find('?');
+  r.path = target.substr(0, q);
+  if (q != std::string::npos) r.query = target.substr(q + 1);
+  r.valid = true;
+  return r;
+}
+
+/// Strict "last_errors=N" lookup; nullopt-style via `ok`. Absent key -> 0.
+bool parse_last_errors(const std::string& query, std::size_t* out) {
+  *out = 0;
+  if (query.empty()) return true;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string kv = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) return false;
+    if (kv.substr(0, eq) != "last_errors") continue;  // ignore unknown keys
+    const std::string digits = kv.substr(eq + 1);
+    if (digits.empty() || digits.size() > 6) return false;
+    std::size_t v = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::size_t>(c - '0');
+    }
+    *out = v;
+  }
+  return true;
+}
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+struct TelemetryServer::Impl {
+  net::TcpListener listener;
+  TelemetryOptions opts;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  void serve() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      std::optional<net::TcpConn> conn;
+      try {
+        conn = listener.accept(kAcceptTimeoutMs);
+      } catch (const IoError&) {
+        continue;  // transient accept failure; keep serving
+      }
+      if (!conn) continue;
+      try {
+        handle(*conn);
+      } catch (const IoError&) {
+        // A dropped scrape is the client's problem, not the server's.
+      }
+    }
+  }
+
+  void handle(net::TcpConn& conn) {
+    std::string head;
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.size() < kMaxRequestBytes) {
+      if (!conn.readable(kReadTimeoutMs)) return;  // slow client: give up
+      char buf[1024];
+      const std::size_t n = conn.recv_some(buf, sizeof(buf));
+      if (n == 0) break;  // EOF
+      head.append(buf, n);
+    }
+    MLSIM_COUNTER_ADD(names::kTelemetryHttpRequests, 1);
+
+    const Request req = parse_request_head(head);
+    std::string response;
+    if (!req.valid) {
+      response = http_response(400, "Bad Request", "text/plain",
+                               "malformed request\n");
+    } else if (req.method != "GET") {
+      response = http_response(405, "Method Not Allowed", "text/plain",
+                               "only GET is supported\n");
+    } else if (req.path == "/metrics") {
+      std::ostringstream body;
+      default_registry().write_prometheus(body);
+      response = http_response(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8", body.str());
+    } else if (req.path == "/healthz") {
+      std::size_t last_errors = 0;
+      if (!parse_last_errors(req.query, &last_errors)) {
+        response = http_response(400, "Bad Request", "text/plain",
+                                 "bad last_errors value\n");
+      } else if (opts.health) {
+        response = http_response(200, "OK", "application/json",
+                                 opts.health(last_errors));
+      } else {
+        std::string body = "{\"status\":\"ok\"";
+        if (last_errors > 0) {
+          body += ",\"last_errors\":" + flight::last_errors_json(last_errors);
+        }
+        body += "}";
+        response = http_response(200, "OK", "application/json", body);
+      }
+    } else if (req.path == "/tracez") {
+      std::ostringstream body;
+      write_chrome_trace(body);
+      response = http_response(200, "OK", "application/json", body.str());
+    } else {
+      response =
+          http_response(404, "Not Found", "text/plain", "no such route\n");
+    }
+    if (response.compare(0, 10, "HTTP/1.0 2") != 0) {
+      MLSIM_COUNTER_ADD(names::kTelemetryHttpErrors, 1);
+    }
+    conn.send_all(response.data(), response.size());
+  }
+};
+
+TelemetryServer::TelemetryServer() = default;
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start(TelemetryOptions opts) {
+  stop();
+  auto impl = std::make_unique<Impl>();
+  impl->listener = net::TcpListener::bind(opts.port);
+  impl->opts = std::move(opts);
+  impl->thread = std::thread([p = impl.get()] { p->serve(); });
+  impl_ = std::move(impl);
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (!impl_) return;
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_.reset();
+}
+
+std::uint16_t TelemetryServer::port() const {
+  return impl_ ? impl_->listener.port() : 0;
+}
+
+}  // namespace mlsim::obs
+
+#endif  // MLSIM_OBS_DISABLE

@@ -1,0 +1,59 @@
+// Live telemetry endpoint (docs/OBSERVABILITY.md): a minimal poll-driven
+// HTTP/1.0 server on the loopback interface serving
+//
+//   GET /metrics                 Prometheus text exposition of the default
+//                                registry (Registry::write_prometheus)
+//   GET /healthz[?last_errors=N] health JSON from the owning subsystem
+//                                (service health_json / coordinator
+//                                cluster_json), with the flight-recorder
+//                                post-mortems of the N most recent
+//                                bad-outcome requests appended
+//   GET /tracez                  Chrome trace JSON snapshot of the span
+//                                rings (write_chrome_trace)
+//
+// One background thread, one connection at a time, Connection: close — a
+// scrape target, not a web server. Under MLSIM_OBS_DISABLE start() returns
+// false and never opens a socket, so the disabled build is endpoint-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace mlsim::obs {
+
+struct TelemetryOptions {
+  /// Loopback port to bind (0 picks an ephemeral port, readable via
+  /// TelemetryServer::port()).
+  std::uint16_t port = 0;
+  /// Produces the /healthz document; `last_errors` is the parsed
+  /// ?last_errors=N query (0 when absent). When unset, /healthz serves a
+  /// plain {"status":"ok"} plus the flight-recorder dump.
+  std::function<std::string(std::size_t last_errors)> health;
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer();
+  ~TelemetryServer();  // joins the serving thread
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind and serve on a background thread. Returns false when obs is
+  /// compiled out (MLSIM_OBS_DISABLE); throws IoError when the bind fails.
+  bool start(TelemetryOptions opts);
+
+  /// Stop serving and join the thread. Idempotent.
+  void stop();
+
+  /// Bound port while running, 0 otherwise.
+  std::uint16_t port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mlsim::obs

@@ -34,11 +34,22 @@ struct ThreadBuffer {
   }
 };
 
+struct RemoteBatch {
+  std::uint32_t pid = 0;
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+};
+
 struct TraceState {
-  std::mutex mu;  // guards `buffers` registration and export/reset
+  std::mutex mu;  // guards `buffers` registration, remote batches, export/reset
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<RemoteBatch> remote;
   std::atomic<std::uint64_t> t0_ns{0};
   std::atomic<std::uint32_t> next_tid{1};
+  // Distributed trace context; sticky across reset_trace() so a worker set
+  // up from AssignMsg keeps tagging spans for the whole shard.
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> parent_span{0};
 };
 
 TraceState& state() {
@@ -87,12 +98,43 @@ std::uint32_t& thread_span_depth() {
   return depth;
 }
 
+void set_trace_context(std::uint64_t trace_id, std::uint64_t parent_span) {
+  state().trace_id.store(trace_id, std::memory_order_relaxed);
+  state().parent_span.store(parent_span, std::memory_order_relaxed);
+}
+
+std::uint64_t current_trace_id() {
+  return state().trace_id.load(std::memory_order_relaxed);
+}
+
+std::uint64_t current_parent_span() {
+  return state().parent_span.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  std::lock_guard lk(state().mu);
+  std::vector<SpanRecord> out;
+  for (const auto& b : state().buffers) {
+    for (const TraceEvent& e : b->ring) {
+      out.push_back(SpanRecord{e.name, e.ts_ns, e.dur_ns, e.depth, b->tid});
+    }
+  }
+  return out;
+}
+
+void add_remote_spans(std::uint32_t pid, std::uint64_t trace_id,
+                      std::vector<SpanRecord> spans) {
+  std::lock_guard lk(state().mu);
+  state().remote.push_back(RemoteBatch{pid, trace_id, std::move(spans)});
+}
+
 void reset_trace() {
   std::lock_guard lk(state().mu);
   for (auto& b : state().buffers) {
     b->ring.clear();
     b->written = 0;
   }
+  state().remote.clear();
   state().t0_ns.store(steady_ns(), std::memory_order_relaxed);
 }
 
@@ -100,6 +142,7 @@ std::uint64_t recorded_events() {
   std::lock_guard lk(state().mu);
   std::uint64_t n = 0;
   for (const auto& b : state().buffers) n += b->ring.size();
+  for (const auto& r : state().remote) n += r.spans.size();
   return n;
 }
 
@@ -129,26 +172,67 @@ void write_escaped(std::ostream& os, const char* s) {
 
 }  // namespace
 
+namespace {
+
+/// Lowercase hex, no 0x prefix — how trace ids appear in exported JSON.
+std::string hex_id(std::uint64_t v) {
+  char buf[17];
+  static constexpr char kDigits[] = "0123456789abcdef";
+  int n = 0;
+  do {
+    buf[n++] = kDigits[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (n > 0) out.push_back(buf[--n]);
+  return out;
+}
+
+void write_span_json(std::ostream& os, const char* name, std::uint64_t ts_ns,
+                     std::uint64_t dur_ns, std::uint32_t depth,
+                     std::uint32_t pid, std::uint32_t tid,
+                     std::uint64_t trace_id) {
+  os << "{\"name\":\"";
+  write_escaped(os, name);
+  // Chrome trace timestamps are microseconds; keep ns resolution via
+  // fractional µs.
+  os << "\",\"cat\":\"mlsim\",\"ph\":\"X\",\"ts\":"
+     << static_cast<double>(ts_ns) / 1000.0
+     << ",\"dur\":" << static_cast<double>(dur_ns) / 1000.0
+     << ",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"args\":{\"depth\":" << depth;
+  if (trace_id != 0) {
+    os << ",\"trace_id\":\"" << hex_id(trace_id) << '"';
+  }
+  os << "}}";
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& os) {
   std::lock_guard lk(state().mu);
   // Default stream precision (6 significant digits) would round µs timestamps
   // enough to break visual nesting for sessions longer than ~1 s.
   const auto old_precision = os.precision(15);
+  const std::uint64_t local_trace_id =
+      state().trace_id.load(std::memory_order_relaxed);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& b : state().buffers) {
     for (const TraceEvent& e : b->ring) {
       if (!first) os << ",\n";
       first = false;
-      os << "{\"name\":\"";
-      write_escaped(os, e.name);
-      // Chrome trace timestamps are microseconds; keep ns resolution via
-      // fractional µs.
-      os << "\",\"cat\":\"mlsim\",\"ph\":\"X\",\"ts\":"
-         << static_cast<double>(e.ts_ns) / 1000.0
-         << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
-         << ",\"pid\":1,\"tid\":" << b->tid << ",\"args\":{\"depth\":" << e.depth
-         << "}}";
+      write_span_json(os, e.name, e.ts_ns, e.dur_ns, e.depth, /*pid=*/1,
+                      b->tid, local_trace_id);
+    }
+  }
+  for (const auto& batch : state().remote) {
+    for (const SpanRecord& s : batch.spans) {
+      if (!first) os << ",\n";
+      first = false;
+      write_span_json(os, s.name.c_str(), s.ts_ns, s.dur_ns, s.depth,
+                      batch.pid, s.tid, batch.trace_id);
     }
   }
   std::uint64_t dropped = 0;

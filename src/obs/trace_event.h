@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace mlsim::obs {
 
@@ -23,6 +24,16 @@ struct TraceEvent {
   std::uint64_t ts_ns;  // span start, relative to session start
   std::uint64_t dur_ns;
   std::uint32_t depth;  // thread-local span-stack depth at open (0 = root)
+};
+
+/// Owned copy of a span, safe to ship across process boundaries (the dist
+/// protocol serialises these; TraceEvent's `const char*` cannot travel).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t tid = 0;  // recording thread within its process
 };
 
 /// Events each thread can hold before its ring wraps (~6 MiB/thread).
@@ -41,12 +52,33 @@ std::uint32_t& thread_span_depth();
 /// Clear all buffered events and restart the session clock.
 void reset_trace();
 
-/// Events currently buffered / overwritten across all threads.
+/// Events currently buffered across all threads, including merged remote
+/// batches; dropped_events() counts ring overwrites (local only).
 std::uint64_t recorded_events();
 std::uint64_t dropped_events();
 
+/// Distributed trace context (docs/OBSERVABILITY.md): a nonzero trace_id
+/// tags every exported local span; workers inherit it from AssignMsg so the
+/// coordinator's merged trace groups all processes under one id. Sticky
+/// across reset_trace(); 0 = unset.
+void set_trace_context(std::uint64_t trace_id, std::uint64_t parent_span);
+std::uint64_t current_trace_id();
+std::uint64_t current_parent_span();
+
+/// Owned copies of every buffered local span (ring order per thread) — what
+/// a worker attaches to ResultMsg.
+std::vector<SpanRecord> snapshot_spans();
+
+/// Merge a batch of spans from another process; `pid` distinguishes the
+/// source in the exported Chrome trace (local events are pid 1). Cleared by
+/// reset_trace().
+void add_remote_spans(std::uint32_t pid, std::uint64_t trace_id,
+                      std::vector<SpanRecord> spans);
+
 /// Chrome trace-event JSON ("traceEvents" array of "ph":"X" events, µs
-/// timestamps) — loadable in chrome://tracing and Perfetto.
+/// timestamps) — loadable in chrome://tracing and Perfetto. Local events are
+/// pid 1; remote batches keep their source pid; all carry their trace_id in
+/// args when one is set.
 void write_chrome_trace(std::ostream& os);
 
 /// Convenience: write to a file; returns false if the file cannot be opened.

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"  // QueueFullError
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 #include "trace/encoder.h"
 
@@ -175,6 +176,15 @@ void BatchScheduler::flush(core::LatencyPredictor& predictor,
         st.failed.emplace(live[k].seq, error);
       }
       st.cv.notify_all();
+    }
+    // One flight-recorder event per distinct request in the batch (a batch
+    // typically coalesces several windows of the same request).
+    std::vector<std::uint64_t> seen;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t id = live[k].owner->request_id;
+      if (std::find(seen.begin(), seen.end(), id) != seen.end()) continue;
+      seen.push_back(id);
+      obs::flight::record(id, obs::flight::Event::kBatchFlushed, n);
     }
 
     std::size_t flops = predictor.flops_per_window(rows);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"  // QueueFullError
 #include "core/gpu_sim.h"
+#include "obs/flight_recorder.h"
 #include "core/parallel_sim.h"
 #include "core/sequential_sim.h"
 #include "core/streaming.h"
@@ -153,11 +154,34 @@ SimulationService::StatePtr SimulationService::pop_locked() {
   return nullptr;
 }
 
+namespace {
+
+/// Terminal flight-recorder event for a response status — the single place
+/// every request outcome is stamped (resolve_locked).
+obs::flight::Event flight_event(ResponseStatus s) {
+  using obs::flight::Event;
+  switch (s) {
+    case ResponseStatus::kCompleted: return Event::kCompleted;
+    case ResponseStatus::kRejectedQueueFull:
+    case ResponseStatus::kRejectedOverload:
+    case ResponseStatus::kRejectedShedding: return Event::kRejected;
+    case ResponseStatus::kDeadlineExceeded: return Event::kDeadlineMissed;
+    case ResponseStatus::kCancelled: return Event::kCancelled;
+    case ResponseStatus::kWorkerHung: return Event::kHung;
+    case ResponseStatus::kFailed: return Event::kFailed;
+  }
+  return Event::kFailed;
+}
+
+}  // namespace
+
 void SimulationService::resolve_locked(const StatePtr& st, Response rsp) {
   if (st->resolved) return;  // watchdog and worker can race to resolve
   st->resolved = true;
   rsp.id = st->id;
   rsp.hang_requeues = st->hang_requeues;
+  obs::flight::record(st->id, flight_event(rsp.status),
+                      static_cast<std::uint64_t>(rsp.status));
   switch (rsp.status) {
     case ResponseStatus::kCompleted:
       ++stats_.completed;
@@ -254,6 +278,9 @@ SimulationService::Ticket SimulationService::submit(Request req) {
 
   ++stats_.accepted;
   MLSIM_COUNTER_ADD(obs::names::kSvcAccepted, 1);
+  obs::flight::record(st->id, obs::flight::Event::kAdmitted);
+  obs::flight::record(st->id, obs::flight::Event::kQueued,
+                      static_cast<std::uint64_t>(st->req.priority));
   queues_[static_cast<std::size_t>(st->req.priority)].push_back(st);
   export_gauges_locked();
   cv_.notify_one();
@@ -305,12 +332,18 @@ void SimulationService::worker_loop(std::size_t slot_index) {
       continue;
     }
 
+    obs::flight::record(st->id, obs::flight::Event::kPickedUp, slot_index);
     slot.active = st;
     slot.source = CancelSource();
     if (st->deadline != Clock::time_point{}) {
+      const auto budget = st->deadline - now;
       slot.source.set_deadline_after(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(st->deadline -
-                                                               now));
+          std::chrono::duration_cast<std::chrono::nanoseconds>(budget));
+      obs::flight::record(
+          st->id, obs::flight::Event::kDeadlineArmed,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(budget)
+                  .count()));
     }
     slot.abandoned = false;
     slot.last_beat = slot.source.heartbeat();
@@ -405,6 +438,8 @@ void SimulationService::watchdog_loop() {
         // queue_capacity; admission control only bounds new submissions.
         ++stats_.hang_requeues;
         MLSIM_COUNTER_ADD(obs::names::kSvcHangRequeues, 1);
+        obs::flight::record(st->id, obs::flight::Event::kRetried,
+                            st->hang_requeues);
         queues_[static_cast<std::size_t>(st->req.priority)].push_front(st);
         export_gauges_locked();
         cv_.notify_one();
@@ -425,6 +460,9 @@ void SimulationService::run_request(const RequestState& st,
                                     const CancelToken& token, Response& rsp) {
   const Request& req = st.req;
   const bool use_primary = breaker_.allow_primary();
+  if (!use_primary) {
+    obs::flight::record(st.id, obs::flight::Event::kBreakerBypassed);
+  }
   core::LatencyPredictor& pred = use_primary ? primary_ : fallback_;
   bool primary_failed = false;
 
@@ -545,7 +583,7 @@ std::size_t SimulationService::inflight() const {
   return busy_;
 }
 
-std::string SimulationService::health_json() const {
+std::string SimulationService::health_json(std::size_t last_errors) const {
   std::lock_guard lk(mu_);
   const BreakerState bs = breaker_.state();
   const std::size_t queued = queued_locked();
@@ -577,7 +615,11 @@ std::string SimulationService::health_json() const {
      << ",\"cancelled\":" << stats_.cancelled << ",\"hung\":" << stats_.hung
      << ",\"hangs_detected\":" << stats_.hangs_detected
      << ",\"hang_requeues\":" << stats_.hang_requeues
-     << ",\"degraded\":" << stats_.degraded << '}';
+     << ",\"degraded\":" << stats_.degraded;
+  if (last_errors > 0) {
+    os << ",\"last_errors\":" << obs::flight::last_errors_json(last_errors);
+  }
+  os << '}';
   return os.str();
 }
 

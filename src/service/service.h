@@ -146,8 +146,11 @@ class SimulationService {
 
   /// Liveness/health snapshot as a single JSON object: overall status
   /// ("ok" | "overloaded" | "degraded" | "stopping"), queue and worker
-  /// occupancy, breaker state, and the outcome counters.
-  std::string health_json() const;
+  /// occupancy, breaker state, and the outcome counters. `last_errors > 0`
+  /// appends the flight-recorder event sequences of the N most recent
+  /// bad-outcome requests (docs/OBSERVABILITY.md) — what the telemetry
+  /// endpoint serves for /healthz?last_errors=N.
+  std::string health_json(std::size_t last_errors = 0) const;
 
  private:
   struct RequestState {

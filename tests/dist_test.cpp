@@ -13,7 +13,9 @@
 #include <csignal>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "dist/protocol.h"
 #include "dist/worker.h"
 #include "net/frame.h"
+#include "obs/obs.h"
 #include "net/socket.h"
 #include "service/service.h"
 #include "trace/trace.h"
@@ -341,9 +344,12 @@ TEST(Dist, LateResultAfterReassignmentIsNotMergedTwice) {
       auto s = fake_join(port);
       const AssignMsg a = fake_await_assign(*s);
       const auto outcome = fake_compute(*s, a);
+      HeartbeatMsg hb;
+      hb.session = a.session;
+      hb.shard = a.shard;
       for (int i = 0; i < 16; ++i) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        net::send_frame(s->conn, encode_heartbeat({a.session, a.shard}));
+        net::send_frame(s->conn, encode_heartbeat(hb));
       }
       net::send_frame(s->conn,
                       encode_result({a.session, a.shard, a.attempt}, outcome));
@@ -493,17 +499,226 @@ TEST(Dist, ProtocolVersionMismatchIsRejected) {
   rejecting.join();
 }
 
+
+// ---- protocol v2 (telemetry fields) and v1 compatibility --------------------
+
+TEST(DistProtocol, AssignEncodesTraceContextPerPeerVersion) {
+  AssignMsg m;
+  m.session = 11;
+  m.shard = 2;
+  m.part_lo = 4;
+  m.part_hi = 8;
+  m.attempt = 3;
+  m.trace_id = 0xfeedULL;
+  m.parent_span = 0x1234ULL;
+
+  const AssignMsg v2 = decode_assign(encode_assign(m), "test");
+  EXPECT_EQ(v2.session, m.session);
+  EXPECT_EQ(v2.shard, m.shard);
+  EXPECT_EQ(v2.part_lo, m.part_lo);
+  EXPECT_EQ(v2.part_hi, m.part_hi);
+  EXPECT_EQ(v2.attempt, m.attempt);
+  EXPECT_EQ(v2.trace_id, m.trace_id);
+  EXPECT_EQ(v2.parent_span, m.parent_span);
+
+  // A v1 peer gets a byte-exact v1 payload: no telemetry tail at all, and
+  // a v2 decoder reads it back with the fields defaulted.
+  const std::string v1_payload = encode_assign(m, 1);
+  EXPECT_EQ(v1_payload.size() + 16, encode_assign(m).size());
+  const AssignMsg v1 = decode_assign(v1_payload, "test");
+  EXPECT_EQ(v1.shard, m.shard);
+  EXPECT_EQ(v1.trace_id, 0u);
+  EXPECT_EQ(v1.parent_span, 0u);
+}
+
+TEST(DistProtocol, ResultCarriesSpansAndDecodesV1Payloads) {
+  core::ShardOutcome outcome;  // contents don't matter for the envelope
+  std::vector<obs::SpanRecord> spans(2);
+  spans[0].name = "worker/partition";
+  spans[0].ts_ns = 100;
+  spans[0].dur_ns = 50;
+  spans[0].depth = 1;
+  spans[0].tid = 4;
+  spans[1].name = "worker/partition";
+  spans[1].ts_ns = 200;
+  spans[1].dur_ns = 60;
+
+  const ResultHeader h{21, 1, 2};
+  const ResultDecoded d =
+      decode_result(encode_result(h, outcome, 0xbeefULL, spans), "test");
+  EXPECT_EQ(d.header.session, 21u);
+  EXPECT_EQ(d.header.shard, 1u);
+  EXPECT_EQ(d.header.attempt, 2u);
+  EXPECT_EQ(d.trace_id, 0xbeefULL);
+  ASSERT_EQ(d.spans.size(), 2u);
+  EXPECT_EQ(d.spans[0].name, "worker/partition");
+  EXPECT_EQ(d.spans[0].ts_ns, 100u);
+  EXPECT_EQ(d.spans[0].dur_ns, 50u);
+  EXPECT_EQ(d.spans[0].depth, 1u);
+  EXPECT_EQ(d.spans[0].tid, 4u);
+  EXPECT_EQ(d.spans[1].ts_ns, 200u);
+
+  // What a v1 worker puts on the wire is today's encoding minus the
+  // trailing trace_id + span count; the decoder defaults both.
+  std::string v1_payload = encode_result(h, outcome);
+  v1_payload.resize(v1_payload.size() - 16);
+  const ResultDecoded v1 = decode_result(v1_payload, "test");
+  EXPECT_EQ(v1.header.shard, 1u);
+  EXPECT_EQ(v1.trace_id, 0u);
+  EXPECT_TRUE(v1.spans.empty());
+}
+
+TEST(DistProtocol, HeartbeatCarriesBusyRatioAndRollups) {
+  HeartbeatMsg m;
+  m.session = 5;
+  m.shard = kIdleShard;
+  m.busy_ratio = 0.625;
+  m.rollups = {{0, 41}, {2, 7}};
+
+  const HeartbeatMsg v2 = decode_heartbeat(encode_heartbeat(m), "test");
+  EXPECT_EQ(v2.session, 5u);
+  EXPECT_EQ(v2.shard, kIdleShard);
+  EXPECT_DOUBLE_EQ(v2.busy_ratio, 0.625);
+  ASSERT_EQ(v2.rollups.size(), 2u);
+  EXPECT_EQ(v2.rollups[0].id, 0u);
+  EXPECT_EQ(v2.rollups[0].delta, 41u);
+  EXPECT_EQ(v2.rollups[1].id, 2u);
+  EXPECT_EQ(v2.rollups[1].delta, 7u);
+
+  // v1 heartbeat: no telemetry tail; decoder reports "not reported".
+  const HeartbeatMsg v1 = decode_heartbeat(encode_heartbeat(m, 1), "test");
+  EXPECT_EQ(v1.session, 5u);
+  EXPECT_LT(v1.busy_ratio, 0.0);
+  EXPECT_TRUE(v1.rollups.empty());
+}
+
+TEST(Dist, V1WorkerCompletesRunAndGetsV1Frames) {
+  // End-to-end backward compatibility: a worker that Hellos with protocol
+  // v1 joins, receives byte-exact v1 Assigns (no trace context even though
+  // the coordinator is tracing), answers with v1 Results and Heartbeats,
+  // and the run still merges bit-identically.
+  if (obs::kCompiledIn) {
+    obs::set_enabled(true);  // make the coordinator derive a trace id
+    obs::reset_trace();
+  }
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0));
+  std::thread fake([port = coord->port()] {
+    try {
+      auto s = std::make_unique<FakeSession>();
+      s->conn = net::TcpConn::connect("127.0.0.1", port);
+      net::send_frame(s->conn, encode_hello(1));  // ancient but supported
+      std::string payload;
+      while (true) {
+        if (!net::recv_frame(s->conn, payload)) {
+          throw IoError("coordinator closed during fake handshake");
+        }
+        if (peek_type(payload, "fake") == MsgType::kWelcome) break;
+      }
+      s->welcome = decode_welcome(payload, "fake");
+      s->injector = device::FaultInjector(s->welcome.config.fault_options());
+      s->opts = s->welcome.config.to_options(
+          s->welcome.config.faults_enabled ? &s->injector : nullptr);
+      s->plan = core::ShardPlan::make(s->welcome.trace.size(), s->opts);
+      for (int shard = 0; shard < 2; ++shard) {
+        const AssignMsg a = fake_await_assign(*s);
+        // The coordinator must not have leaked v2 fields to a v1 peer.
+        EXPECT_EQ(a.trace_id, 0u);
+        EXPECT_EQ(a.parent_span, 0u);
+        HeartbeatMsg hb;
+        hb.session = a.session;
+        hb.shard = a.shard;
+        net::send_frame(s->conn, encode_heartbeat(hb, 1));
+        std::string result = encode_result({a.session, a.shard, a.attempt},
+                                           fake_compute(*s, a));
+        result.resize(result.size() - 16);  // v1: no trace_id / span tail
+        net::send_frame(s->conn, result);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().shards_completed, 2u);
+  coord.reset();
+  fake.join();
+  if (obs::kCompiledIn) obs::set_enabled(false);
+}
+
+TEST(Dist, HeartbeatRollupsFoldIntoClusterMetrics) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  auto& reg = obs::default_registry();
+  const std::uint64_t instr_before =
+      reg.counter(obs::names::kClusterWorkerInstructions).value();
+  const std::uint64_t retries_before =
+      reg.counter(obs::names::kClusterWorkerRetries).value();
+
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0));
+  std::thread fake([port = coord->port()] {
+    try {
+      auto s = fake_join(port);
+      for (int shard = 0; shard < 2; ++shard) {
+        const AssignMsg a = fake_await_assign(*s);
+        HeartbeatMsg hb;
+        hb.session = a.session;
+        hb.shard = a.shard;
+        if (shard == 0) {
+          hb.busy_ratio = 0.75;
+          hb.rollups = {{0, 5}, {2, 7}, {kNumRollupCounters + 9, 1}};
+        }
+        net::send_frame(s->conn, encode_heartbeat(hb));
+        net::send_frame(s->conn, encode_result({a.session, a.shard, a.attempt},
+                                               fake_compute(*s, a)));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  EXPECT_EQ(out.total_cycles, local_reference(tr, opts).total_cycles);
+  // The worker-shipped deltas landed in the cluster rollups (the unknown
+  // positional id was ignored), and the busy report drove the gauge.
+  EXPECT_EQ(reg.counter(obs::names::kClusterWorkerInstructions).value(),
+            instr_before + 5);
+  EXPECT_EQ(reg.counter(obs::names::kClusterWorkerRetries).value(),
+            retries_before + 7);
+  EXPECT_DOUBLE_EQ(reg.gauge(obs::names::kClusterWorkerBusyRatio).value(),
+                   0.75);
+  // The health document exposes the per-worker ratio; appending
+  // flight-recorder post-mortems keeps it one well-formed JSON object.
+  const std::string health = coord->cluster_json();
+  EXPECT_NE(health.find("\"busy_ratio\":0.75"), std::string::npos) << health;
+  const std::string with_errors = coord->cluster_json(2);
+  EXPECT_NE(with_errors.find("\"last_errors\":["), std::string::npos);
+  EXPECT_EQ(with_errors.back(), '}');
+  coord.reset();
+  fake.join();
+  obs::set_enabled(false);
+}
+
 // ---- real process isolation (fork) -----------------------------------------
 
 #if !defined(MLSIM_TSAN)
 
 /// Fork a real worker process. The child never returns.
-pid_t fork_worker(std::uint16_t port, int heartbeat_ms = 50) {
+pid_t fork_worker(std::uint16_t port, int heartbeat_ms = 50,
+                  bool enable_obs = false) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
   WorkerConfig cfg;
   cfg.port = port;
   cfg.heartbeat_ms = heartbeat_ms;
+  if (enable_obs) obs::set_enabled(true);  // record + ship spans (v2)
   try {
     run_worker(cfg);
     _exit(0);
@@ -575,6 +790,55 @@ TEST(DistProcess, HardKilledWorkerProcessIsRecoveredFrom) {
   EXPECT_EQ(waitpid(victim, &status, 0), victim);
   EXPECT_TRUE(WIFSIGNALED(status));
   EXPECT_EQ(waitpid(survivor, &status, 0), survivor);
+}
+
+
+TEST(DistProcess, ThreeProcessesMergeOneDistributedTrace) {
+  // The ISSUE's acceptance run, in miniature: a coordinator plus two real
+  // worker processes, all tracing, must yield ONE merged Chrome trace with
+  // spans from all three processes under a single nonzero trace id.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);  // 4 shards
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const pid_t a = fork_worker(coord->port(), 50, /*enable_obs=*/true);
+  const pid_t b = fork_worker(coord->port(), 50, /*enable_obs=*/true);
+  ASSERT_GT(a, 0);
+  ASSERT_GT(b, 0);
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local_reference(tr, opts), out);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string body = os.str();
+  // Coordinator spans export under pid 1; each worker's shipped spans under
+  // 1 + its uid. All spans carry the run's trace id.
+  EXPECT_NE(body.find("\"name\":\"dist/run\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"worker/partition\""), std::string::npos);
+  EXPECT_NE(body.find("\"pid\":1,"), std::string::npos);
+  EXPECT_NE(body.find("\"pid\":2,"), std::string::npos);
+  EXPECT_NE(body.find("\"pid\":3,"), std::string::npos);
+  std::set<std::string> trace_ids;
+  const std::string key = "\"trace_id\":\"";
+  for (std::size_t at = body.find(key); at != std::string::npos;
+       at = body.find(key, at + 1)) {
+    const std::size_t from = at + key.size();
+    trace_ids.insert(body.substr(from, body.find('"', from) - from));
+  }
+  EXPECT_EQ(trace_ids.size(), 1u) << body.substr(0, 2000);
+  EXPECT_NE(*trace_ids.begin(), "0");
+
+  coord.reset();
+  int status = 0;
+  EXPECT_EQ(waitpid(a, &status, 0), a);
+  EXPECT_EQ(waitpid(b, &status, 0), b);
+  obs::set_enabled(false);
 }
 
 #endif  // !MLSIM_TSAN

@@ -294,5 +294,157 @@ TEST(ObsThreadPool, DrainsAndReportsZeroQueueDepth) {
   }
 }
 
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (what GET /metrics serves)
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, NameSanitizationAndEscaping) {
+  EXPECT_EQ(obs::prom_name("gpu_sim.inference_ns"), "mlsim_gpu_sim_inference_ns");
+  EXPECT_EQ(obs::prom_name("a.b-c d"), "mlsim_a_b_c_d");
+  EXPECT_EQ(obs::prom_escape("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ObsPrometheus, ExpositionCoversAllKindsWithTypeLines) {
+  obs::Registry reg;
+  reg.counter("test.events").add(41);
+  reg.gauge("test.depth").set(2.5);
+  obs::Histogram& h = reg.histogram("test.wait_ns", {1.0, 10.0, 100.0});
+  h.record(0.5);   // first bucket
+  h.record(5.0);   // second
+  h.record(1e9);   // overflow: storage's open-ended last bucket
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string body = os.str();
+
+  EXPECT_NE(body.find("# TYPE mlsim_test_events_total counter\n"
+                      "mlsim_test_events_total 41\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE mlsim_test_depth gauge\nmlsim_test_depth 2.5\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE mlsim_test_wait_ns histogram\n"),
+            std::string::npos)
+      << body;
+  // Cumulative buckets ending at +Inf == _count, even with an overflow
+  // sample beyond the largest finite edge.
+  EXPECT_NE(body.find("mlsim_test_wait_ns_bucket{le=\"1\"} 1\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("mlsim_test_wait_ns_bucket{le=\"10\"} 2\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("mlsim_test_wait_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("mlsim_test_wait_ns_count 3\n"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("mlsim_test_wait_ns_sum "), std::string::npos) << body;
+}
+
+TEST(ObsPrometheus, SnapshotStaysConsistentUnderConcurrentRecording) {
+  // The exposition's histogram invariants (+Inf == _count, cumulative
+  // non-decreasing buckets) must hold for snapshots taken mid-record.
+  obs::Registry reg;
+  reg.histogram("test.concurrent_ns");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, &stop, t] {
+      obs::Histogram& h = reg.histogram("test.concurrent_ns");
+      std::uint64_t x = static_cast<std::uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        h.record(static_cast<double>(x % 1000000));
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream os;
+    reg.write_prometheus(os);
+    const std::string body = os.str();
+    // Walk the bucket lines: cumulative counts never decrease, and the
+    // final +Inf bucket equals _count.
+    std::uint64_t prev = 0, inf = 0, count = 0;
+    std::istringstream is(body);
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto value_of = [&line] {
+        return std::stoull(line.substr(line.rfind(' ') + 1));
+      };
+      if (line.rfind("mlsim_test_concurrent_ns_bucket", 0) == 0) {
+        const std::uint64_t v = value_of();
+        EXPECT_GE(v, prev) << body;
+        prev = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos) inf = v;
+      } else if (line.rfind("mlsim_test_concurrent_ns_count", 0) == 0) {
+        count = value_of();
+      }
+    }
+    EXPECT_EQ(inf, count) << body;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed trace context and cross-process merge
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, TraceContextRoundTripsAndStampsSpans) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  EXPECT_EQ(obs::current_trace_id(), 0u);
+  obs::set_trace_context(0xabcdULL, 7);
+  EXPECT_EQ(obs::current_trace_id(), 0xabcdULL);
+  EXPECT_EQ(obs::current_parent_span(), 7u);
+  {
+    MLSIM_TRACE_SPAN("test/ctx-span");
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string body = os.str();
+  EXPECT_NE(body.find("\"name\":\"test/ctx-span\""), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\":\"abcd\""), std::string::npos) << body;
+  obs::set_trace_context(0, 0);
+  obs::set_enabled(false);
+}
+
+TEST(ObsTrace, RemoteSpansMergeWithDistinctPids) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  {
+    MLSIM_TRACE_SPAN("test/local-span");
+  }
+  obs::SpanRecord remote;
+  remote.name = "test/remote-span";
+  remote.ts_ns = 10;
+  remote.dur_ns = 20;
+  remote.tid = 3;
+  obs::add_remote_spans(/*pid=*/9, /*trace_id=*/0x51ULL, {remote});
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string body = os.str();
+  // Local spans export under pid 1, the remote batch under its own pid,
+  // carrying the trace id it was shipped with.
+  const std::size_t local = body.find("\"name\":\"test/local-span\"");
+  const std::size_t rem = body.find("\"name\":\"test/remote-span\"");
+  ASSERT_NE(local, std::string::npos) << body;
+  ASSERT_NE(rem, std::string::npos) << body;
+  EXPECT_NE(body.find("\"pid\":1", local), std::string::npos);
+  EXPECT_NE(body.find("\"pid\":9", rem), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\":\"51\"", rem), std::string::npos) << body;
+  // snapshot_spans feeds ResultMsg: it must see the local span.
+  const std::vector<obs::SpanRecord> spans = obs::snapshot_spans();
+  bool found = false;
+  for (const auto& s : spans) found = found || s.name == "test/local-span";
+  EXPECT_TRUE(found);
+  obs::set_enabled(false);
+}
+
 }  // namespace
 }  // namespace mlsim

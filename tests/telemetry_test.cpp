@@ -1,0 +1,536 @@
+// Live telemetry plane (docs/OBSERVABILITY.md): the HTTP endpoint serving
+// /metrics (validated by a format-strict Prometheus text-exposition parser),
+// /healthz (health callback + flight-recorder post-mortems), and /tracez;
+// request routing and error responses; the per-request flight recorder's
+// ring semantics; and the end-to-end path where a deadline-missed service
+// request shows up in /healthz?last_errors=1.
+//
+// Compiles and passes in the stripped build too (-DMLSIM_OBS_DISABLE=ON):
+// the endpoint tests skip (start() returns false there, which its own test
+// asserts) and the flight-recorder tests assert the no-op contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analytic_predictor.h"
+#include "device/fault.h"
+#include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/metric_names.h"
+#include "obs/obs.h"
+#include "obs/registry.h"
+#include "obs/telemetry_http.h"
+#include "service/service.h"
+#include "trace/trace.h"
+#include "uarch/ground_truth.h"
+
+namespace mlsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// HTTP client + strict Prometheus parser
+// ---------------------------------------------------------------------------
+
+/// Blocking one-shot HTTP exchange against the telemetry server.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  net::TcpConn conn = net::TcpConn::connect("127.0.0.1", port);
+  conn.send_all(request.data(), request.size());
+  std::string rsp;
+  char buf[4096];
+  while (conn.readable(5000)) {
+    const std::size_t n = conn.recv_some(buf, sizeof buf);
+    if (n == 0) break;  // server closed (Connection: close)
+    rsp.append(buf, n);
+  }
+  return rsp;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_exchange(port, "GET " + target +
+                                 " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+}
+
+std::string status_line(const std::string& rsp) {
+  return rsp.substr(0, rsp.find("\r\n"));
+}
+
+std::string body_of(const std::string& rsp) {
+  const std::size_t at = rsp.find("\r\n\r\n");
+  EXPECT_NE(at, std::string::npos) << rsp;
+  return at == std::string::npos ? std::string() : rsp.substr(at + 4);
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    if (i == 0 ? !alpha : !(alpha || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+double parse_prom_value(const std::string& text) {
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  if (text == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (text == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  std::size_t used = 0;
+  const double v = std::stod(text, &used);
+  EXPECT_EQ(used, text.size()) << "trailing junk in value '" << text << "'";
+  return v;
+}
+
+/// One histogram family being accumulated while scanning the exposition.
+struct HistFamily {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0.0;
+};
+
+/// Format-strict Prometheus text-exposition (0.0.4) validation: every sample
+/// belongs to a declared TYPE, names are legal, histogram buckets are
+/// cumulative and end at +Inf == _count, counters end in _total.
+void check_prometheus_exposition(const std::string& body) {
+  ASSERT_FALSE(body.empty());
+  ASSERT_EQ(body.back(), '\n') << "exposition must end with a newline";
+  std::map<std::string, std::string> types;  // family -> kind
+  std::map<std::string, HistFamily> hists;
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, directive, name, kind;
+      ls >> hash >> directive >> name;
+      ASSERT_TRUE(directive == "TYPE" || directive == "HELP") << line;
+      if (directive != "TYPE") continue;
+      ls >> kind;
+      ASSERT_TRUE(valid_metric_name(name)) << line;
+      ASSERT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      ASSERT_EQ(types.count(name), 0u) << "duplicate TYPE for " << name;
+      if (kind == "counter") {
+        ASSERT_GE(name.size(), 7u) << "counter family must end in _total";
+        ASSERT_EQ(name.substr(name.size() - 6), "_total") << line;
+      }
+      types[name] = kind;
+      continue;
+    }
+    // Sample: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::size_t name_end = std::min(brace, space);
+    const std::string name = line.substr(0, name_end);
+    ASSERT_TRUE(valid_metric_name(name)) << line;
+    std::string labels;
+    if (brace != std::string::npos && brace < space) {
+      const std::size_t close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      labels = line.substr(brace + 1, close - brace - 1);
+      ASSERT_EQ(line[close + 1], ' ') << line;
+    }
+    const double value =
+        parse_prom_value(line.substr(line.rfind(' ') + 1));
+
+    // Resolve the declared family: exact (counter/gauge) or the histogram
+    // base of a _bucket/_sum/_count sample.
+    std::string family = name, role;
+    if (types.count(name) == 0) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s(suffix);
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0) {
+          const std::string base = name.substr(0, name.size() - s.size());
+          if (types.count(base) != 0 && types.at(base) == "histogram") {
+            family = base;
+            role = s;
+            break;
+          }
+        }
+      }
+    }
+    ASSERT_NE(types.count(family), 0u)
+        << "sample '" << name << "' has no preceding TYPE line";
+    const std::string& kind = types.at(family);
+    if (kind == "histogram") {
+      ASSERT_FALSE(role.empty())
+          << "bare sample '" << name << "' for histogram family";
+      HistFamily& h = hists[family];
+      if (role == "_bucket") {
+        const std::size_t le = labels.find("le=\"");
+        ASSERT_NE(le, std::string::npos) << line;
+        const std::size_t close = labels.find('"', le + 4);
+        h.buckets.emplace_back(
+            parse_prom_value(labels.substr(le + 4, close - le - 4)), value);
+      } else if (role == "_sum") {
+        h.has_sum = true;
+      } else {
+        h.has_count = true;
+        h.count = value;
+      }
+    } else {
+      ASSERT_TRUE(role.empty());
+      if (kind == "counter") {
+        EXPECT_GE(value, 0.0) << line;
+      }
+    }
+  }
+  for (const auto& [family, h] : hists) {
+    ASSERT_FALSE(h.buckets.empty()) << family;
+    ASSERT_TRUE(h.has_sum) << family << " is missing _sum";
+    ASSERT_TRUE(h.has_count) << family << " is missing _count";
+    for (std::size_t i = 1; i < h.buckets.size(); ++i) {
+      EXPECT_GT(h.buckets[i].first, h.buckets[i - 1].first)
+          << family << " bucket edges must increase";
+      EXPECT_GE(h.buckets[i].second, h.buckets[i - 1].second)
+          << family << " bucket counts must be cumulative";
+    }
+    EXPECT_TRUE(std::isinf(h.buckets.back().first))
+        << family << " must end with an le=\"+Inf\" bucket";
+    EXPECT_EQ(h.buckets.back().second, h.count)
+        << family << " +Inf bucket must equal _count";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// /metrics
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHttp, MetricsEndpointServesStrictPrometheus) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  MLSIM_COUNTER_ADD(obs::names::kSvcAccepted, 3);
+  MLSIM_GAUGE_SET(obs::names::kSvcQueueDepth, 2.0);
+  for (int i = 0; i < 10; ++i) {
+    MLSIM_HIST_RECORD(obs::names::kSvcRequestNs, 1e6 * (i + 1));
+  }
+  MLSIM_HIST_RECORD(obs::names::kSvcRequestNs, 1e30);  // overflow bucket
+
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start({}));
+  ASSERT_NE(srv.port(), 0);
+  const std::string rsp = http_get(srv.port(), "/metrics");
+  EXPECT_NE(status_line(rsp).find("200"), std::string::npos) << rsp;
+  EXPECT_NE(rsp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = body_of(rsp);
+  check_prometheus_exposition(body);
+  EXPECT_NE(body.find("mlsim_service_requests_accepted_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("mlsim_service_queue_depth 2"), std::string::npos);
+  EXPECT_NE(body.find("mlsim_service_request_ns_bucket"), std::string::npos);
+  srv.stop();
+  EXPECT_EQ(srv.port(), 0);
+  obs::set_enabled(false);
+}
+
+TEST(TelemetryHttp, MetricsStayParseableUnderConcurrentRecording) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start({}));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MLSIM_COUNTER_ADD(obs::names::kSvcAccepted, 1);
+      MLSIM_HIST_RECORD(obs::names::kSvcRequestNs, 12345.0);
+    }
+  });
+  for (int scrape = 0; scrape < 5; ++scrape) {
+    const std::string rsp = http_get(srv.port(), "/metrics");
+    EXPECT_NE(status_line(rsp).find("200"), std::string::npos);
+    check_prometheus_exposition(body_of(rsp));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  srv.stop();
+  obs::set_enabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// /healthz and /tracez
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHttp, HealthzServesCallbackWithLastErrorsQuery) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::TelemetryOptions to;
+  to.health = [](std::size_t last_errors) {
+    return "{\"probe\":" + std::to_string(last_errors) + "}";
+  };
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start(std::move(to)));
+  EXPECT_EQ(body_of(http_get(srv.port(), "/healthz")), "{\"probe\":0}");
+  EXPECT_EQ(body_of(http_get(srv.port(), "/healthz?last_errors=3")),
+            "{\"probe\":3}");
+  // Malformed query values are a client error, not a crash.
+  const std::string bad = http_get(srv.port(), "/healthz?last_errors=abc");
+  EXPECT_NE(status_line(bad).find("400"), std::string::npos) << bad;
+  srv.stop();
+  obs::set_enabled(false);
+}
+
+TEST(TelemetryHttp, HealthzWithoutCallbackStillAnswers) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start({}));
+  const std::string rsp = http_get(srv.port(), "/healthz");
+  EXPECT_NE(status_line(rsp).find("200"), std::string::npos);
+  EXPECT_NE(body_of(rsp).find("\"status\":\"ok\""), std::string::npos);
+  srv.stop();
+  obs::set_enabled(false);
+}
+
+TEST(TelemetryHttp, TracezServesChromeTraceSnapshot) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  {
+    MLSIM_TRACE_SPAN("test/telemetry-span");
+  }
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start({}));
+  const std::string rsp = http_get(srv.port(), "/tracez");
+  EXPECT_NE(status_line(rsp).find("200"), std::string::npos);
+  EXPECT_NE(rsp.find("Content-Type: application/json"), std::string::npos);
+  const std::string body = body_of(rsp);
+  EXPECT_EQ(body.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(body.find("\"name\":\"test/telemetry-span\""), std::string::npos);
+  srv.stop();
+  obs::set_enabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// Request routing and error responses
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHttp, UnknownPathsMethodsAndGarbageAreRejected) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start({}));
+  const std::uint64_t errors_before =
+      obs::default_registry().counter(obs::names::kTelemetryHttpErrors).value();
+
+  EXPECT_NE(status_line(http_get(srv.port(), "/nope")).find("404"),
+            std::string::npos);
+  EXPECT_NE(status_line(http_exchange(
+                            srv.port(),
+                            "POST /metrics HTTP/1.0\r\n\r\n"))
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(status_line(http_exchange(srv.port(), "garbage\r\n\r\n"))
+                .find("400"),
+            std::string::npos);
+  EXPECT_GE(
+      obs::default_registry().counter(obs::names::kTelemetryHttpErrors).value(),
+      errors_before + 3);
+  srv.stop();
+  obs::set_enabled(false);
+}
+
+TEST(TelemetryHttp, DisabledBuildIsEndpointFree) {
+  if (obs::kCompiledIn) GTEST_SKIP() << "instrumented build";
+  obs::TelemetryServer srv;
+  EXPECT_FALSE(srv.start({}));
+  EXPECT_EQ(srv.port(), 0);
+  srv.stop();  // idempotent no-op
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, ReconstructsErrorSequencesMostRecentFirst) {
+  using obs::flight::Event;
+  obs::set_enabled(true);
+  obs::flight::reset();
+  // Request 7 completes fine; 8 and 9 end badly, 9 last.
+  obs::flight::record(7, Event::kAdmitted);
+  obs::flight::record(7, Event::kCompleted);
+  obs::flight::record(8, Event::kAdmitted);
+  obs::flight::record(8, Event::kQueued, 1);
+  obs::flight::record(9, Event::kAdmitted);
+  obs::flight::record(8, Event::kDeadlineMissed);
+  obs::flight::record(9, Event::kHung);
+  obs::set_enabled(false);
+
+  const std::string js = obs::flight::last_errors_json(8);
+  if (!obs::kCompiledIn) {
+    EXPECT_EQ(js, "[]");
+    return;
+  }
+  ASSERT_EQ(js.front(), '[');
+  ASSERT_EQ(js.back(), ']');
+  const std::size_t id9 = js.find("\"id\":9");
+  const std::size_t id8 = js.find("\"id\":8");
+  ASSERT_NE(id9, std::string::npos) << js;
+  ASSERT_NE(id8, std::string::npos) << js;
+  EXPECT_LT(id9, id8) << "most recent bad outcome must come first: " << js;
+  EXPECT_EQ(js.find("\"id\":7"), std::string::npos)
+      << "completed request must not be listed: " << js;
+  // Request 8's events appear in recording order.
+  const std::size_t admitted = js.find("\"ev\":\"admitted\"", id8);
+  const std::size_t queued = js.find("\"ev\":\"queued\"", id8);
+  const std::size_t missed = js.find("\"ev\":\"deadline_missed\"", id8);
+  ASSERT_NE(missed, std::string::npos) << js;
+  EXPECT_LT(admitted, queued);
+  EXPECT_LT(queued, missed);
+  EXPECT_NE(js.find("\"detail\":1", queued), std::string::npos) << js;
+}
+
+TEST(FlightRecorder, LimitsToRequestedCountAndDedupesIds) {
+  using obs::flight::Event;
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::flight::reset();
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    obs::flight::record(id, Event::kAdmitted);
+    obs::flight::record(id, Event::kFailed);
+    obs::flight::record(id, Event::kFailed);  // repeat: still one entry
+  }
+  obs::set_enabled(false);
+  const std::string js = obs::flight::last_errors_json(2);
+  EXPECT_NE(js.find("\"id\":5"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"id\":4"), std::string::npos) << js;
+  EXPECT_EQ(js.find("\"id\":3"), std::string::npos) << js;
+  // Exactly two entries.
+  std::size_t entries = 0;
+  for (std::size_t at = js.find("\"id\":"); at != std::string::npos;
+       at = js.find("\"id\":", at + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2u);
+}
+
+TEST(FlightRecorder, RuntimeDisabledRecordsNothing) {
+  obs::set_enabled(false);
+  obs::flight::reset();
+  obs::flight::record(1, obs::flight::Event::kFailed);
+  EXPECT_EQ(obs::flight::recorded(), 0u);
+  EXPECT_EQ(obs::flight::last_errors_json(4), "[]");
+}
+
+TEST(FlightRecorder, ConcurrentRecordingAndReadingIsSafe) {
+  using obs::flight::Event;
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::flight::reset();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(t) * kPerThread + i;
+        obs::flight::record(id, Event::kAdmitted);
+        obs::flight::record(id, (i % 7 == 0) ? Event::kFailed
+                                             : Event::kCompleted);
+      }
+    });
+  }
+  // Read post-mortems while the ring is being overwritten underneath.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string js = obs::flight::last_errors_json(8);
+      EXPECT_EQ(js.front(), '[');
+      EXPECT_EQ(js.back(), ']');
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::flight::recorded(), 2u * kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a deadline-missed request's post-mortem via /healthz
+// ---------------------------------------------------------------------------
+
+trace::EncodedTrace make_trace(const std::string& abbr, std::size_t n) {
+  return uarch::make_encoded_trace(trace::find_workload(abbr), n, {}, 1);
+}
+
+TEST(TelemetryService, DeadlineMissedRequestAppearsInHealthzLastErrors) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::flight::reset();
+  const trace::EncodedTrace tr = make_trace("mcf", 2000);
+  core::AnalyticPredictor primary, fallback;
+  device::FaultOptions fo;
+  fo.seed = 1;
+  fo.straggler_rate = 1.0;  // every attempt stalls for straggler_stall
+  const device::FaultInjector inj(fo);
+
+  service::ServiceOptions so;
+  so.num_workers = 1;
+  so.queue_capacity = 8;
+  so.hang_timeout = 10s;  // the stall below must not trip the watchdog
+  service::SimulationService svc(primary, fallback, so);
+
+  obs::TelemetryOptions to;
+  to.health = [&svc](std::size_t n) { return svc.health_json(n); };
+  obs::TelemetryServer srv;
+  ASSERT_TRUE(srv.start(std::move(to)));
+
+  // Occupy the single worker with a stalling request, then let a deadlined
+  // request expire in the queue.
+  service::Request blocker_rq;
+  blocker_rq.trace = &tr;
+  blocker_rq.engine = service::EngineKind::kParallel;
+  blocker_rq.faults = &inj;
+  blocker_rq.straggler_stall = 300ms;
+  auto blocker = svc.submit(std::move(blocker_rq));
+  while (svc.inflight() == 0) std::this_thread::sleep_for(1ms);
+
+  service::Request doomed;
+  doomed.trace = &tr;
+  doomed.engine = service::EngineKind::kParallel;
+  doomed.deadline = 1ms;
+  auto t = svc.submit(std::move(doomed));
+  const std::uint64_t doomed_id = t.id;
+  ASSERT_EQ(t.future.get().status, service::ResponseStatus::kDeadlineExceeded);
+
+  const std::string rsp = http_get(srv.port(), "/healthz?last_errors=1");
+  EXPECT_NE(status_line(rsp).find("200"), std::string::npos);
+  const std::string body = body_of(rsp);
+  EXPECT_NE(body.find("\"last_errors\":["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":" + std::to_string(doomed_id)),
+            std::string::npos)
+      << body;
+  // The post-mortem shows the lifecycle: admitted -> queued ->
+  // deadline_missed, in that order.
+  const std::size_t at = body.find("\"id\":" + std::to_string(doomed_id));
+  const std::size_t admitted = body.find("\"ev\":\"admitted\"", at);
+  const std::size_t queued = body.find("\"ev\":\"queued\"", at);
+  const std::size_t missed = body.find("\"ev\":\"deadline_missed\"", at);
+  ASSERT_NE(missed, std::string::npos) << body;
+  EXPECT_LT(admitted, queued);
+  EXPECT_LT(queued, missed);
+
+  (void)blocker.future.get();
+  srv.stop();
+  svc.shutdown();
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace mlsim
