@@ -37,21 +37,30 @@
 //              [--port=N] [--workers=W] [--heartbeat-ms=M] [--timeout-ms=T]
 //              [--parallel=P] [--gpus=G] [--context=C] [--no-recovery]
 //              [--fault-worker-kill=R] [--fault-seed=S] [--verify]
+//              [--steal] [--speculate-pct=P] [--result-cache[=N]]
 //       Run one distributed parallel simulation as the cluster coordinator
 //       (docs/DISTRIBUTED.md): bind 127.0.0.1:<port> (0 = ephemeral, the
 //       bound port is printed), wait for --workers workers, dispatch shard
 //       descriptors, recover in-flight shards from dead/hung workers, and
 //       merge. --fault-worker-kill simulates whole-worker kills at rate R;
 //       --verify reruns in-process and asserts the merged CPI is
-//       bit-identical.
+//       bit-identical. Elasticity (docs/DISTRIBUTED.md "Elasticity &
+//       churn"): --steal rebalances shards off slow workers, --speculate-pct
+//       duplicates shards older than that percentile of completed latency
+//       onto idle workers, --result-cache memoizes shard outcomes (N
+//       entries, default 1024) so repeated runs dispatch nothing.
 //
 //   mlsim_cli worker --connect=host:port [--heartbeat-ms=M] [--no-reconnect]
+//              [--leave-after=N]
 //       Join a coordinator as one worker process and compute shards until
 //       shut down. With --no-reconnect a simulated worker kill is final
 //       (the process exits) instead of rejoining like a supervised restart.
+//       --leave-after announces a planned departure (Goodbye) after N
+//       computed shards — models scale-down or spot preemption with notice.
 //
 //   mlsim_cli serve <benchmark|trace.bin> [instructions] [--requests=N]
 //              [--workers=W] [--queue=Q] [--parallel=P] [--deadline-ms=D]
+//              [--tenant-quota=N]
 //              [--fault-kill=R] [--fault-corrupt=R] [--fault-straggler=R]
 //              [--fault-seed=S] [--stall-ms=M]
 //       Soak the resilient simulation service (docs/SERVICE.md): submit N
@@ -574,6 +583,9 @@ int cmd_coordinator(int argc, char** argv) {
   std::size_t min_workers = 1, parallel = 4, gpus = 1, context = 64;
   int heartbeat_timeout_ms = 2000, run_timeout_ms = 120000;
   bool recovery = true, verify = false;
+  bool steal = false;
+  double speculate_pct = 0.0;
+  std::size_t result_cache = 0;
   bool have_telemetry = false;
   std::uint16_t telemetry_port = 0;
   device::FaultOptions fault;
@@ -613,6 +625,21 @@ int cmd_coordinator(int argc, char** argv) {
       fault.seed = parse_u64("--fault-seed", s.substr(13));
     } else if (s == "--verify") {
       verify = true;
+    } else if (s == "--steal") {
+      steal = true;
+    } else if (s.rfind("--speculate-pct=", 0) == 0) {
+      const std::uint64_t p =
+          parse_positive("--speculate-pct", s.substr(16));
+      if (p > 100) {
+        throw UsageError("--speculate-pct: '" + s.substr(16) +
+                         "' must be a percentile in 1..100");
+      }
+      speculate_pct = static_cast<double>(p);
+    } else if (s == "--result-cache") {
+      result_cache = 1024;
+    } else if (s.rfind("--result-cache=", 0) == 0) {
+      result_cache = static_cast<std::size_t>(
+          parse_positive("--result-cache", s.substr(15)));
     } else if (!s.empty() && s[0] != '-') {
       pos.push_back(s);
     } else {
@@ -627,6 +654,7 @@ int cmd_coordinator(int argc, char** argv) {
                  "[--heartbeat-ms=M] [--timeout-ms=T] [--parallel=P] "
                  "[--gpus=G] [--context=C] [--no-recovery] "
                  "[--fault-worker-kill=R] [--fault-seed=S] [--verify] "
+                 "[--steal] [--speculate-pct=P] [--result-cache[=N]] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
   }
@@ -647,6 +675,9 @@ int cmd_coordinator(int argc, char** argv) {
   co.min_workers = min_workers;
   co.heartbeat_timeout_ms = heartbeat_timeout_ms;
   co.run_timeout_ms = run_timeout_ms;
+  co.steal = steal;
+  co.speculate_pct = speculate_pct;
+  co.result_cache_entries = result_cache;
   dist::DistCoordinator coord(net::TcpListener::bind(port), co);
   std::printf("coordinator listening on 127.0.0.1:%u — waiting for %zu "
               "worker(s); join with:\n  mlsim_cli worker "
@@ -675,10 +706,18 @@ int cmd_coordinator(int argc, char** argv) {
               parallel, gpus, out.cpi(),
               tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
               out.mips(), out.corrected_instructions);
-  std::printf("cluster: %zu joined | %zu lost | %zu dispatched | "
-              "%zu reassigned | %zu duplicates dropped | %zu heartbeats\n",
-              st.workers_joined, st.workers_lost, st.shards_dispatched,
-              st.reassignments, st.duplicates_dropped, st.heartbeats);
+  std::printf("cluster: %zu joined | %zu lost | %zu departed | "
+              "%zu dispatched | %zu reassigned | %zu duplicates dropped | "
+              "%zu heartbeats\n",
+              st.workers_joined, st.workers_lost, st.workers_departed,
+              st.shards_dispatched, st.reassignments, st.duplicates_dropped,
+              st.heartbeats);
+  if (steal || speculate_pct > 0.0 || result_cache > 0) {
+    std::printf("elastic: %zu stolen | %zu speculated | cache %zu hits / "
+                "%zu misses / %zu evictions\n",
+                st.steals, st.speculations, st.cache_hits, st.cache_misses,
+                st.cache_evictions);
+  }
   if (verify) {
     const auto local = sim.simulate_parallel(tr, po);
     const bool same = local.total_cycles == out.total_cycles &&
@@ -712,6 +751,10 @@ int cmd_worker(int argc, char** argv) {
     } else if (s == "--no-reconnect") {
       cfg.reconnect_after_kill = false;
       continue;
+    } else if (s.rfind("--leave-after=", 0) == 0) {
+      cfg.leave_after_shards = static_cast<std::size_t>(
+          parse_positive("--leave-after", s.substr(14)));
+      continue;
     } else if (!s.empty() && s[0] != '-') {
       endpoint = s;  // bare host:port positional
     } else {
@@ -729,7 +772,8 @@ int cmd_worker(int argc, char** argv) {
   }
   if (!have_endpoint) {
     std::fprintf(stderr, "usage: mlsim_cli worker --connect=host:port "
-                         "[--heartbeat-ms=M] [--no-reconnect]\n");
+                         "[--heartbeat-ms=M] [--no-reconnect] "
+                         "[--leave-after=N]\n");
     return 2;
   }
   std::printf("worker joining %s:%u\n", cfg.host.c_str(), cfg.port);
@@ -753,6 +797,7 @@ int cmd_serve(int argc, char** argv) {
   ObsFlags obs_flags;
   std::vector<std::string> pos;
   std::size_t requests = 32, workers = 2, queue = 8, parallel = 4;
+  std::size_t tenant_quota = 0;
   std::uint64_t deadline_ms = 0, stall_ms = 0;
   bool have_telemetry = false;
   std::uint16_t telemetry_port = 0;
@@ -778,6 +823,9 @@ int cmd_serve(int argc, char** argv) {
       parallel = parse_size("--parallel", s.substr(11));
     } else if (s.rfind("--deadline-ms=", 0) == 0) {
       deadline_ms = parse_u64("--deadline-ms", s.substr(14));
+    } else if (s.rfind("--tenant-quota=", 0) == 0) {
+      tenant_quota = static_cast<std::size_t>(
+          parse_positive("--tenant-quota", s.substr(15)));
     } else if (s.rfind("--stall-ms=", 0) == 0) {
       stall_ms = parse_u64("--stall-ms", s.substr(11));
     } else if (s == "--batch") {
@@ -810,7 +858,8 @@ int cmd_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mlsim_cli serve <benchmark|trace.bin> [instructions] "
                  "[--requests=N] [--workers=W] [--queue=Q] [--parallel=P] "
-                 "[--deadline-ms=D] [--telemetry-port=N] [--batch[=N]] "
+                 "[--deadline-ms=D] [--tenant-quota=N] [--telemetry-port=N] "
+                 "[--batch[=N]] "
                  "[--batch-wait-us=U] [--fault-kill=R] [--fault-corrupt=R] "
                  "[--fault-straggler=R] [--fault-seed=S] [--stall-ms=M] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
@@ -825,6 +874,7 @@ int cmd_serve(int argc, char** argv) {
   service::ServiceOptions so;
   so.num_workers = workers;
   so.queue_capacity = queue;
+  so.tenant_quota = tenant_quota;
   so.batching = batching;
   so.batcher.max_batch = batch_max;
   so.batcher.max_wait = std::chrono::microseconds(batch_wait_us);
@@ -860,6 +910,11 @@ int cmd_serve(int argc, char** argv) {
     rq.engine = service::EngineKind::kParallel;
     rq.num_subtraces = parallel;
     rq.priority = static_cast<service::Priority>(i % service::kNumPriorities);
+    if (tenant_quota > 0) {
+      // Spread the soak across three synthetic tenants so the quota and the
+      // fair-share drain actually engage.
+      rq.tenant = "tenant-" + std::to_string(i % 3);
+    }
     if (deadline_ms > 0) rq.deadline = std::chrono::milliseconds(deadline_ms);
     if (any_fault) {
       rq.faults = &injector;
@@ -868,13 +923,13 @@ int cmd_serve(int argc, char** argv) {
     tickets.push_back(svc.submit(std::move(rq)));
   }
 
-  std::size_t by_status[8] = {};
+  std::size_t by_status[9] = {};
   for (auto& t : tickets) {
     const service::Response rsp = t.future.get();
     ++by_status[static_cast<std::size_t>(rsp.status)];
   }
   Table table({"outcome", "requests"});
-  for (std::size_t s = 0; s < 8; ++s) {
+  for (std::size_t s = 0; s < 9; ++s) {
     if (by_status[s] == 0) continue;
     table.add_row({std::string(to_string(
                        static_cast<service::ResponseStatus>(s))),

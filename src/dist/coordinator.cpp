@@ -29,13 +29,31 @@ std::uint64_t derive_trace_id(std::uint64_t fingerprint,
   return id == 0 ? 1 : id;
 }
 
+/// Nearest-rank percentile of the (unsorted) sample; < 0 when empty.
+double percentile_of(std::vector<double> v, double pct) {
+  if (v.empty()) return -1.0;
+  const double frac = std::clamp(pct, 0.0, 100.0) / 100.0;
+  const auto idx = static_cast<std::size_t>(
+      frac * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+/// Completions the speculation percentile needs before it can tell a
+/// straggler from normal pace.
+constexpr std::size_t kMinPaceSamples = 3;
+
 }  // namespace
 
 DistCoordinator::DistCoordinator(net::TcpListener listener,
                                  CoordinatorOptions opts)
-    : listener_(std::move(listener)), opts_(opts) {
+    : listener_(std::move(listener)),
+      opts_(opts),
+      cache_(opts.result_cache_entries) {
   check(listener_.valid(), "coordinator needs a bound listener");
   check(opts_.max_assign_attempts > 0, "need at least one assignment attempt");
+  refresh_health(nullptr);
 }
 
 DistCoordinator::~DistCoordinator() { shutdown_workers(); }
@@ -50,6 +68,17 @@ void DistCoordinator::shutdown_workers() {
     }
   }
   workers_.clear();
+  refresh_health(nullptr);
+}
+
+std::size_t DistCoordinator::connected_workers() const {
+  std::lock_guard lk(health_mu_);
+  return workers_snapshot_;
+}
+
+CoordinatorStats DistCoordinator::stats() const {
+  std::lock_guard lk(health_mu_);
+  return stats_snapshot_;
 }
 
 void DistCoordinator::accept_joiners(const std::string& welcome) {
@@ -91,27 +120,70 @@ void DistCoordinator::accept_joiners(const std::string& welcome) {
   }
 }
 
+void DistCoordinator::detach_worker_from_shard(Worker& w, RunState& rs) {
+  if (!w.shard.has_value()) return;
+  const std::size_t s = *w.shard;
+  w.shard.reset();
+  if (s >= rs.shards.size()) return;
+  Shard& sh = rs.shards[s];
+  if (sh.state != ShardState::kAssigned) return;
+  if (sh.spec == &w) {
+    // Losing the speculative copy costs nothing: the owner still has it.
+    sh.spec = nullptr;
+    return;
+  }
+  if (sh.owner != &w) return;  // stolen away earlier; w was a stale holder
+  if (sh.spec != nullptr && !sh.spec->dead && !sh.spec->suspect) {
+    // The duplicate is already computing it — promote instead of requeueing.
+    sh.owner = sh.spec;
+    sh.spec = nullptr;
+    return;
+  }
+  sh.spec = nullptr;
+  reassign(s, rs);
+}
+
 void DistCoordinator::drop_worker(Worker& w, RunState& rs) {
   if (w.dead) return;
   w.dead = true;
   w.conn.close();
   ++stats_.workers_lost;
   MLSIM_COUNTER_ADD(obs::names::kDistWorkersLost, 1);
-  if (w.shard.has_value()) {
-    const std::size_t s = *w.shard;
-    w.shard.reset();
-    if (rs.shards[s].state == ShardState::kAssigned &&
-        rs.shards[s].owner == &w) {
-      reassign(s, rs);
-    }
-  }
+  detach_worker_from_shard(w, rs);
 }
 
 void DistCoordinator::reassign(std::size_t shard_idx, RunState& rs) {
   rs.shards[shard_idx].state = ShardState::kPending;
   rs.shards[shard_idx].owner = nullptr;
+  rs.shards[shard_idx].spec = nullptr;
   ++stats_.reassignments;
   MLSIM_COUNTER_ADD(obs::names::kDistReassignments, 1);
+}
+
+bool DistCoordinator::send_assign(Worker& w, std::size_t s, RunState& rs) {
+  AssignMsg a;
+  a.session = session_;
+  a.shard = s;
+  a.part_lo = rs.plan->shard_lo(s);
+  a.part_hi = rs.plan->shard_hi(s);
+  a.attempt = static_cast<std::uint32_t>(rs.shards[s].attempts);
+  a.trace_id = trace_id_;
+  a.parent_span = obs::current_parent_span();
+  try {
+    // v1 workers get byte-exact v1 payloads: their strict decoders treat
+    // trailing bytes as corruption.
+    net::send_frame(w.conn, encode_assign(a, w.version));
+  } catch (const IoError&) {
+    drop_worker(w, rs);
+    return false;
+  }
+  ++rs.shards[s].attempts;
+  w.shard = s;
+  w.assigned_at = Clock::now();
+  w.last_heard = Clock::now();
+  ++stats_.shards_dispatched;
+  MLSIM_COUNTER_ADD(obs::names::kDistShardsDispatched, 1);
+  return true;
 }
 
 void DistCoordinator::assign_pending(RunState& rs) {
@@ -128,31 +200,77 @@ void DistCoordinator::assign_pending(RunState& rs) {
     check(rs.shards[s].attempts < opts_.max_assign_attempts,
           "shard " + std::to_string(s) + " exceeded its assignment budget (" +
               std::to_string(opts_.max_assign_attempts) + " attempts)");
-    AssignMsg a;
-    a.session = session_;
-    a.shard = s;
-    a.part_lo = rs.plan->shard_lo(s);
-    a.part_hi = rs.plan->shard_hi(s);
-    a.attempt = static_cast<std::uint32_t>(rs.shards[s].attempts);
-    a.trace_id = trace_id_;
-    a.parent_span = obs::current_parent_span();
-    try {
-      // v1 workers get byte-exact v1 payloads: their strict decoders treat
-      // trailing bytes as corruption.
-      net::send_frame(idle->conn, encode_assign(a, idle->version));
-    } catch (const IoError&) {
-      drop_worker(*idle, rs);
+    if (!send_assign(*idle, s, rs)) {
       --s;  // retry this shard against the remaining pool
       continue;
     }
-    ++rs.shards[s].attempts;
     rs.shards[s].state = ShardState::kAssigned;
     rs.shards[s].owner = idle;
-    idle->shard = s;
-    idle->assigned_at = Clock::now();
-    idle->last_heard = Clock::now();
-    ++stats_.shards_dispatched;
-    MLSIM_COUNTER_ADD(obs::names::kDistShardsDispatched, 1);
+  }
+}
+
+double DistCoordinator::fleet_pace_us() const {
+  double sum = 0.0;
+  std::size_t cnt = 0;
+  for (const auto& w : workers_) {
+    if (w->dead || w->ewma_shard_us <= 0.0) continue;
+    double us = w->ewma_shard_us;
+    // A worker spending a fraction b of its wall time on shard work takes
+    // ~1/b of its historical per-shard time right now.
+    if (w->busy_ratio > 0.0) us /= std::clamp(w->busy_ratio, 0.1, 1.0);
+    sum += us;
+    ++cnt;
+  }
+  return cnt > 0 ? sum / static_cast<double>(cnt) : -1.0;
+}
+
+void DistCoordinator::rebalance(RunState& rs) {
+  if (!opts_.steal && opts_.speculate_pct <= 0.0) return;
+  // Idle capacity only exists once nothing is pending: assign_pending runs
+  // first each tick, so any leftover idle worker here has no real work.
+  std::vector<Worker*> idle;
+  for (auto& w : workers_) {
+    if (!w->dead && !w->suspect && !w->shard.has_value()) idle.push_back(w.get());
+  }
+  if (idle.empty()) return;
+  for (const auto& sh : rs.shards) {
+    if (sh.state == ShardState::kPending) return;
+  }
+
+  const double fleet_us = fleet_pace_us();
+  const double spec_floor_us =
+      (opts_.speculate_pct > 0.0 && rs.latencies_us.size() >= kMinPaceSamples)
+          ? percentile_of(rs.latencies_us, opts_.speculate_pct)
+          : -1.0;
+
+  for (std::size_t s = 0; s < rs.shards.size() && !idle.empty(); ++s) {
+    Shard& sh = rs.shards[s];
+    if (sh.state != ShardState::kAssigned || sh.owner == nullptr) continue;
+    if (sh.attempts >= opts_.max_assign_attempts) continue;  // budget spent
+    const double age_us = us_since(sh.owner->assigned_at);
+    if (opts_.steal && fleet_us > 0.0 &&
+        age_us > opts_.steal_grace_factor * fleet_us) {
+      // Rebalance to the idle worker. The old owner keeps computing (its
+      // w.shard still points here) — whichever Result lands first wins.
+      Worker* thief = idle.back();
+      idle.pop_back();
+      if (!send_assign(*thief, s, rs)) continue;
+      sh.owner = thief;
+      ++stats_.steals;
+      MLSIM_COUNTER_ADD(obs::names::kClusterStealShards, 1);
+      obs::flight::record(session_, obs::flight::Event::kShardStolen, s);
+    } else if (spec_floor_us > 0.0 && sh.spec == nullptr &&
+               age_us > spec_floor_us) {
+      // Straggler by this run's own completed-latency distribution:
+      // duplicate onto the idle worker, keep the owner racing.
+      Worker* backup = idle.back();
+      idle.pop_back();
+      if (!send_assign(*backup, s, rs)) continue;
+      sh.spec = backup;
+      ++stats_.speculations;
+      MLSIM_COUNTER_ADD(obs::names::kClusterSpeculativeDispatched, 1);
+      obs::flight::record(session_, obs::flight::Event::kShardSpeculated, s);
+    }
   }
 }
 
@@ -177,7 +295,10 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
         const HeartbeatMsg hb = decode_heartbeat(payload, w.conn.peer());
         ++stats_.heartbeats;
         MLSIM_COUNTER_ADD(obs::names::kDistHeartbeats, 1);
-        if (hb.busy_ratio >= 0.0) {
+        // Version gate, not just a sign check: a pre-v2 worker can never
+        // contribute to the fleet-mean busy gauge, even if a frame of its
+        // happens to carry v2-looking trailing bytes.
+        if (w.version >= 2 && hb.busy_ratio >= 0.0) {
           w.busy_ratio = std::min(1.0, hb.busy_ratio);
           update_busy_gauge();
         }
@@ -200,8 +321,9 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
         if (d.header.session != session_ || s >= rs.shards.size() ||
             rs.shards[s].state == ShardState::kDone) {
           // Duplicate, or a late delivery for a shard already completed
-          // elsewhere: outcomes are deterministic, so the first accepted
-          // result is as good as any — drop idempotently.
+          // elsewhere (possibly by its steal/speculation twin): outcomes are
+          // deterministic, so the first accepted result is as good as any —
+          // drop idempotently.
           ++stats_.duplicates_dropped;
           MLSIM_COUNTER_ADD(obs::names::kDistDuplicatesDropped, 1);
           break;
@@ -209,9 +331,19 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
         check(d.outcome.part_lo == rs.plan->shard_lo(s) &&
                   d.outcome.part_hi == rs.plan->shard_hi(s),
               "shard result range does not match the plan");
+        if (rs.shards[s].spec == &w) {
+          // The speculative duplicate beat the original owner.
+          MLSIM_COUNTER_ADD(obs::names::kClusterSpeculativeWins, 1);
+        }
         rs.shards[s].outcome = std::move(d.outcome);
         rs.shards[s].state = ShardState::kDone;
         rs.shards[s].owner = nullptr;
+        rs.shards[s].spec = nullptr;
+        if (cache_.enabled()) {
+          cache_.insert({rs.fingerprint, s, rs.plan->shard_lo(s),
+                         rs.plan->shard_hi(s)},
+                        rs.shards[s].outcome);
+        }
         if (d.trace_id != 0 && !d.spans.empty() && obs::enabled()) {
           // Merge the worker's span buffer into the cross-process trace
           // under its stable uid (coordinator itself is pid 1).
@@ -220,9 +352,25 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
         ++rs.done;
         ++w.completed;
         ++stats_.shards_completed;
+        const double lat_us = us_since(w.assigned_at);
+        w.ewma_shard_us = w.ewma_shard_us > 0.0
+                              ? 0.7 * w.ewma_shard_us + 0.3 * lat_us
+                              : lat_us;
+        rs.latencies_us.push_back(lat_us);
         MLSIM_COUNTER_ADD(obs::names::kDistShardsCompleted, 1);
-        MLSIM_HIST_RECORD(obs::names::kDistShardLatencyUs,
-                          us_since(w.assigned_at));
+        MLSIM_HIST_RECORD(obs::names::kDistShardLatencyUs, lat_us);
+        break;
+      }
+      case MsgType::kGoodbye: {
+        (void)decode_goodbye(payload, w.conn.peer());
+        // Planned departure: requeue (or hand to the speculative twin) right
+        // now instead of burning the heartbeat timeout, and don't count the
+        // worker as lost.
+        ++stats_.workers_departed;
+        MLSIM_COUNTER_ADD(obs::names::kDistWorkersDeparted, 1);
+        detach_worker_from_shard(w, rs);
+        w.dead = true;
+        w.conn.close();
         break;
       }
       case MsgType::kWorkerError: {
@@ -235,14 +383,7 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
           break;
         }
         // Worker-side transport trouble: requeue whatever it was running.
-        if (w.shard.has_value()) {
-          const std::size_t s = *w.shard;
-          w.shard.reset();
-          if (rs.shards[s].state == ShardState::kAssigned &&
-              rs.shards[s].owner == &w) {
-            reassign(s, rs);
-          }
-        }
+        detach_worker_from_shard(w, rs);
         break;
       }
       default:
@@ -293,7 +434,23 @@ core::ParallelSimResult DistCoordinator::run(
 
   RunState rs;
   rs.plan = &plan;
+  rs.fingerprint = fp;
   rs.shards.resize(plan.num_shards);
+
+  // Serve whatever the result cache already holds: a hit completes the
+  // shard without dispatching it. Identical repeated runs finish here.
+  if (cache_.enabled()) {
+    for (std::size_t s = 0; s < rs.shards.size(); ++s) {
+      const ShardResultCache::Key key{fp, s, plan.shard_lo(s),
+                                      plan.shard_hi(s)};
+      if (const core::ShardOutcome* hit = cache_.lookup(key)) {
+        rs.shards[s].outcome = *hit;
+        rs.shards[s].state = ShardState::kDone;
+        ++rs.done;
+        obs::flight::record(session_, obs::flight::Event::kCacheHit, s);
+      }
+    }
+  }
 
   // Re-welcome workers that joined in a previous run: their session state
   // is stale until they see this run's config and trace.
@@ -322,7 +479,10 @@ core::ParallelSimResult DistCoordinator::run(
                     std::to_string(plan.num_shards) + " shards complete");
     }
     if (workers_.size() >= opts_.min_workers) dispatching = true;
-    if (dispatching) assign_pending(rs);
+    if (dispatching) {
+      assign_pending(rs);
+      rebalance(rs);
+    }
 
     std::vector<int> fds;
     fds.reserve(workers_.size() + 1);
@@ -339,9 +499,10 @@ core::ParallelSimResult DistCoordinator::run(
       }
     }
 
-    // Presume silent assigned workers dead: requeue their shards, but keep
-    // the sockets open — a late Result is still accepted (or dropped as a
-    // duplicate) if the worker was merely slow.
+    // Presume silent assigned workers dead: requeue their shards (or hand
+    // them to their speculative twin), but keep the sockets open — a late
+    // Result is still accepted (or dropped as a duplicate) if the worker
+    // was merely slow.
     const auto now = Clock::now();
     for (auto& w : workers_) {
       if (w->dead || !w->shard.has_value()) continue;
@@ -350,13 +511,8 @@ core::ParallelSimResult DistCoordinator::run(
               now - w->last_heard)
               .count();
       if (silent_ms > opts_.heartbeat_timeout_ms) {
-        const std::size_t s = *w->shard;
-        w->shard.reset();
         w->suspect = true;
-        if (rs.shards[s].state == ShardState::kAssigned &&
-            rs.shards[s].owner == w.get()) {
-          reassign(s, rs);
-        }
+        detach_worker_from_shard(*w, rs);
       }
     }
     reap_dead_workers();
@@ -378,12 +534,13 @@ core::ParallelSimResult DistCoordinator::run(
 }
 
 void DistCoordinator::update_busy_gauge() {
-  // Mean busy fraction over live, reporting workers — one declared gauge;
-  // per-worker ratios are in cluster_json.
+  // Mean busy fraction over live, reporting v2+ workers — one declared
+  // gauge; per-worker ratios are in cluster_json. Pre-v2 workers cannot
+  // report busy time, so they are excluded rather than averaged in as zero.
   double sum = 0.0;
   std::size_t cnt = 0;
   for (const auto& w : workers_) {
-    if (w->dead || w->busy_ratio < 0.0) continue;
+    if (w->dead || w->version < 2 || w->busy_ratio < 0.0) continue;
     sum += w->busy_ratio;
     ++cnt;
   }
@@ -409,10 +566,10 @@ void DistCoordinator::refresh_health(const RunState* rs) {
        << ",\"version\":" << w->version << ",\"completed\":" << w->completed
        << ",\"suspect\":" << (w->suspect ? "true" : "false")
        << ",\"busy_ratio\":";
-    if (w->busy_ratio >= 0.0) {
+    if (w->version >= 2 && w->busy_ratio >= 0.0) {
       os << w->busy_ratio;
     } else {
-      os << "null";
+      os << "null";  // pre-v2 workers cannot report busy time
     }
     os << '}';
     first = false;
@@ -420,13 +577,25 @@ void DistCoordinator::refresh_health(const RunState* rs) {
   os << "],\"stats\":{\"workers_joined\":" << stats_.workers_joined
      << ",\"workers_lost\":" << stats_.workers_lost
      << ",\"workers_rejected\":" << stats_.workers_rejected
+     << ",\"workers_departed\":" << stats_.workers_departed
      << ",\"shards_dispatched\":" << stats_.shards_dispatched
      << ",\"shards_completed\":" << stats_.shards_completed
      << ",\"reassignments\":" << stats_.reassignments
      << ",\"duplicates_dropped\":" << stats_.duplicates_dropped
-     << ",\"heartbeats\":" << stats_.heartbeats << "}}";
+     << ",\"heartbeats\":" << stats_.heartbeats
+     << ",\"steals\":" << stats_.steals
+     << ",\"speculations\":" << stats_.speculations
+     << ",\"cache_hits\":" << cache_.hits()
+     << ",\"cache_misses\":" << cache_.misses()
+     << ",\"cache_evictions\":" << cache_.evictions()
+     << ",\"cache_entries\":" << cache_.entries() << "}}";
   std::lock_guard lk(health_mu_);
   health_json_ = os.str();
+  stats_snapshot_ = stats_;
+  stats_snapshot_.cache_hits = cache_.hits();
+  stats_snapshot_.cache_misses = cache_.misses();
+  stats_snapshot_.cache_evictions = cache_.evictions();
+  workers_snapshot_ = workers_.size();
 }
 
 std::string DistCoordinator::cluster_json(std::size_t last_errors) const {

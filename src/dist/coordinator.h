@@ -8,6 +8,14 @@
 // and merges the per-shard outcomes through ShardMerger — so the
 // distributed CPI is bit-identical to a single-process ParallelSimulator
 // run over the same trace, options, and seed.
+//
+// The cluster is elastic (docs/DISTRIBUTED.md "Elasticity & churn"):
+// workers join mid-run through the normal Hello/Welcome handshake and are
+// put to work immediately, planned departures (Goodbye) requeue their shard
+// without burning the heartbeat timeout, assigned shards can be stolen from
+// slow workers or speculatively duplicated onto idle ones (first-result-
+// wins dedup keeps the merge exact), and completed outcomes are memoized in
+// a content-addressed result cache so repeated runs skip them entirely.
 #pragma once
 
 #include <chrono>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "core/shard.h"
+#include "dist/result_cache.h"
 #include "net/socket.h"
 #include "service/remote.h"
 
@@ -34,24 +43,53 @@ struct CoordinatorOptions {
   int poll_ms = 50;
   /// Times a shard may be (re)assigned before the run fails with
   /// CheckError. Each assignment uses a fresh attempt number, so the
-  /// deterministic worker-kill schedule re-draws per attempt.
+  /// deterministic worker-kill schedule re-draws per attempt. Steals and
+  /// speculative duplicates draw from the same budget but skip (rather than
+  /// fail) a shard whose budget is spent.
   std::size_t max_assign_attempts = 10;
   /// Wall-clock ceiling for one run; exceeded → IoError (the cluster is
   /// unavailable or wedged, not the simulation). 0 disables.
   int run_timeout_ms = 120000;
   /// Wait for a worker's Hello before giving up on the connection.
   int handshake_timeout_ms = 2000;
+
+  // ---- elasticity (all off by default) --------------------------------------
+  /// Work stealing: when a worker goes idle with nothing pending, an
+  /// assigned shard whose owner has held it longer than steal_grace_factor ×
+  /// the fleet's EWMA shard latency is rebalanced onto the idle worker. The
+  /// old owner keeps computing; whichever Result lands first wins.
+  bool steal = false;
+  double steal_grace_factor = 2.0;
+  /// Speculative straggler dispatch: > 0 duplicates an in-flight shard onto
+  /// an idle worker once its age exceeds this percentile of the run's
+  /// completed-shard latencies (e.g. 95 = p95). Needs a few completions
+  /// before it can tell a straggler from normal pace.
+  double speculate_pct = 0.0;
+  /// Content-addressed shard-result cache capacity in entries (LRU);
+  /// 0 disables. Keyed by (run fingerprint, shard descriptor), so repeated
+  /// or retried runs of identical work dispatch nothing.
+  std::size_t result_cache_entries = 0;
 };
 
 struct CoordinatorStats {
   std::size_t workers_joined = 0;
   std::size_t workers_lost = 0;
   std::size_t workers_rejected = 0;
+  /// Planned departures (Goodbye), not counted in workers_lost.
+  std::size_t workers_departed = 0;
   std::size_t shards_dispatched = 0;
   std::size_t shards_completed = 0;
   std::size_t reassignments = 0;
   std::size_t duplicates_dropped = 0;
   std::size_t heartbeats = 0;
+  /// Assigned shards rebalanced away from slow workers onto idle ones.
+  std::size_t steals = 0;
+  /// Straggling shards duplicated onto an idle worker.
+  std::size_t speculations = 0;
+  /// Result-cache accounting (cumulative across runs).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
 };
 
 class DistCoordinator final : public service::RemoteBackend {
@@ -63,8 +101,11 @@ class DistCoordinator final : public service::RemoteBackend {
   DistCoordinator& operator=(const DistCoordinator&) = delete;
 
   std::uint16_t port() const { return listener_.port(); }
-  std::size_t connected_workers() const { return workers_.size(); }
-  const CoordinatorStats& stats() const { return stats_; }
+  /// Thread-safe snapshots for the telemetry thread: both read the copy the
+  /// run loop publishes under health_mu_ each tick (never the live state the
+  /// loop is mutating).
+  std::size_t connected_workers() const;
+  CoordinatorStats stats() const;
 
   /// Run one distributed simulation over the connected (and still-joining)
   /// workers. Throws CheckError when a shard's content deterministically
@@ -108,7 +149,12 @@ class DistCoordinator final : public service::RemoteBackend {
     /// trace (the coordinator itself is pid 1), and "id" in cluster_json.
     std::uint32_t uid = 0;
     /// Last reported busy/wall fraction; negative until a v2 heartbeat.
+    /// Never set for pre-v2 workers (they cannot report it), so they are
+    /// structurally excluded from the mean-busy gauge.
     double busy_ratio = -1.0;
+    /// EWMA of this worker's completed-shard latency (µs); < 0 until its
+    /// first completion. The steal/speculation pace signal.
+    double ewma_shard_us = -1.0;
   };
 
   enum class ShardState { kPending, kAssigned, kDone };
@@ -116,38 +162,62 @@ class DistCoordinator final : public service::RemoteBackend {
     ShardState state = ShardState::kPending;
     std::size_t attempts = 0;  // assignments so far; next attempt index
     Worker* owner = nullptr;
+    /// Speculative duplicate's worker, when the shard was duplicated onto an
+    /// idle worker; first Result (owner's or spec's) wins.
+    Worker* spec = nullptr;
     core::ShardOutcome outcome;
   };
 
   struct RunState {
     const core::ShardPlan* plan = nullptr;
+    std::uint64_t fingerprint = 0;
     std::vector<Shard> shards;
     std::size_t done = 0;
+    /// Completed-shard latencies (µs) of this run: the speculation
+    /// percentile's sample.
+    std::vector<double> latencies_us;
   };
 
   void accept_joiners(const std::string& welcome);
   void handle_frame(Worker& w, RunState& rs);
   void drop_worker(Worker& w, RunState& rs);
+  /// Remove w from whichever side of its shard it holds: clears a spec slot,
+  /// promotes a live spec when the owner leaves, requeues otherwise.
+  void detach_worker_from_shard(Worker& w, RunState& rs);
   void reassign(std::size_t shard_idx, RunState& rs);
+  /// Send one Assign for shard s to w (consumes one attempt). Returns false
+  /// (after dropping w) when the send fails; the caller decides owner/spec.
+  bool send_assign(Worker& w, std::size_t s, RunState& rs);
   void assign_pending(RunState& rs);
+  /// Work stealing + speculative straggler dispatch over idle workers; runs
+  /// only when nothing is pending (real work always takes precedence).
+  void rebalance(RunState& rs);
+  /// Mean expected shard latency (µs) over workers with a pace EWMA, each
+  /// de-rated by its reported busy ratio; < 0 until any worker completed.
+  double fleet_pace_us() const;
   void reap_dead_workers();
-  /// Rebuild the cluster_json document (rs may be null between runs).
+  /// Rebuild the cluster_json document and the stats/worker-count snapshots
+  /// (rs may be null between runs).
   void refresh_health(const RunState* rs);
   void update_busy_gauge();
 
   net::TcpListener listener_;
   CoordinatorOptions opts_;
   CoordinatorStats stats_;
+  ShardResultCache cache_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t session_ = 0;
   std::uint32_t next_worker_uid_ = 1;
   /// Distributed trace id of the current run (0 between runs).
   std::uint64_t trace_id_ = 0;
 
-  /// cluster_json is served from the telemetry thread while run() mutates
-  /// everything above, so the document is prebuilt under its own mutex.
+  /// cluster_json, stats() and connected_workers() are served from the
+  /// telemetry thread while run() mutates everything above, so the run loop
+  /// publishes consistent snapshots under their own mutex.
   mutable std::mutex health_mu_;
   std::string health_json_ = "{\"status\":\"idle\"}";
+  CoordinatorStats stats_snapshot_;
+  std::size_t workers_snapshot_ = 0;
 };
 
 }  // namespace mlsim::dist

@@ -168,7 +168,7 @@ MsgType peek_type(std::string_view payload, const std::string& context) {
   Reader r(payload, context);
   const auto t = r.pod<std::uint32_t>();
   check(t >= static_cast<std::uint32_t>(MsgType::kHello) &&
-            t <= static_cast<std::uint32_t>(MsgType::kWorkerError),
+            t <= static_cast<std::uint32_t>(MsgType::kGoodbye),
         "unknown message type " + std::to_string(t) + " from " + context);
   return static_cast<MsgType>(t);
 }
@@ -269,6 +269,14 @@ std::string encode_worker_error(const WorkerErrorMsg& m) {
   w.pod(m.shard);
   w.pod(m.kind);
   w.str(m.what);
+  return w.take();
+}
+
+std::string encode_goodbye(const GoodbyeMsg& m) {
+  Writer w;
+  put_type(w, MsgType::kGoodbye);
+  w.pod(m.session);
+  w.pod(m.shard);
   return w.take();
 }
 
@@ -400,6 +408,17 @@ WorkerErrorMsg decode_worker_error(std::string_view payload,
   m.shard = r.pod<std::uint64_t>();
   m.kind = r.pod<std::uint32_t>();
   m.what = r.str();
+  r.finish();
+  return m;
+}
+
+GoodbyeMsg decode_goodbye(std::string_view payload,
+                          const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kGoodbye, context);
+  GoodbyeMsg m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
   r.finish();
   return m;
 }

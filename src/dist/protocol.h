@@ -12,6 +12,7 @@
 //   Heartbeat   ->                   liveness while computing / idle
 //   Result      ->                   serialized ShardOutcome
 //   WorkerError ->                   typed failure (transport vs content)
+//   Goodbye     ->                   planned departure: requeue my shard now
 //               <-  Shutdown         run over, drain and exit
 //
 // Results are deterministic in (trace, options, shard) — never in which
@@ -41,7 +42,13 @@ namespace mlsim::dist {
 /// context, Result piggybacks the worker's span buffer, Heartbeat adds
 /// busy_ratio and cluster-rollup counter deltas. Every v2 addition is a
 /// trailing optional field, so v2 decoders accept v1 payloads untouched.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+///
+/// v3 (docs/DISTRIBUTED.md "Elasticity & churn"): adds the Goodbye message
+/// — a worker announcing a planned departure so the coordinator requeues
+/// its shard immediately instead of burning the heartbeat timeout. No
+/// existing message gains fields, so v1/v2 payloads stay byte-exact; pre-v3
+/// workers simply never say Goodbye and depart via the timeout path.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 enum class MsgType : std::uint32_t {
@@ -53,6 +60,7 @@ enum class MsgType : std::uint32_t {
   kHeartbeat = 6,
   kShutdown = 7,
   kWorkerError = 8,
+  kGoodbye = 9,
 };
 
 /// The ParallelSimOptions subset that determines shard *contents* (integer
@@ -152,6 +160,15 @@ struct WorkerErrorMsg {
   std::string what;
 };
 
+/// v3: planned departure (drain, scale-down, supervisor restart). The
+/// coordinator requeues the announced in-flight shard at once — no
+/// heartbeat-timeout wait — and the connection closes after this frame.
+struct GoodbyeMsg {
+  std::uint64_t session = 0;
+  /// Shard the worker abandons, or kIdleShard when it departs idle.
+  std::uint64_t shard = 0;
+};
+
 /// First u32 of a payload. Throws CheckError on an empty/unknown payload.
 MsgType peek_type(std::string_view payload, const std::string& context);
 
@@ -175,6 +192,7 @@ std::string encode_heartbeat(const HeartbeatMsg& m,
                                  kProtocolVersion);
 std::string encode_shutdown();
 std::string encode_worker_error(const WorkerErrorMsg& m);
+std::string encode_goodbye(const GoodbyeMsg& m);
 
 // ---- decoders (payload includes the leading type word) ----------------------
 std::uint32_t decode_hello(std::string_view payload,
@@ -202,5 +220,7 @@ HeartbeatMsg decode_heartbeat(std::string_view payload,
                               const std::string& context);
 WorkerErrorMsg decode_worker_error(std::string_view payload,
                                    const std::string& context);
+GoodbyeMsg decode_goodbye(std::string_view payload,
+                          const std::string& context);
 
 }  // namespace mlsim::dist

@@ -1,0 +1,42 @@
+#include "dist/result_cache.h"
+
+#include "obs/metric_names.h"
+#include "obs/obs.h"
+
+namespace mlsim::dist {
+
+const core::ShardOutcome* ShardResultCache::lookup(const Key& k) {
+  if (!enabled()) return nullptr;
+  const auto it = index_.find(as_tuple(k));
+  if (it == index_.end()) {
+    ++misses_;
+    MLSIM_COUNTER_ADD(obs::names::kClusterCacheMisses, 1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  MLSIM_COUNTER_ADD(obs::names::kClusterCacheHits, 1);
+  return &it->second->second;
+}
+
+void ShardResultCache::insert(const Key& k, core::ShardOutcome outcome) {
+  if (!enabled()) return;
+  const KeyTuple t = as_tuple(k);
+  if (const auto it = index_.find(t); it != index_.end()) {
+    it->second->second = std::move(outcome);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(t, std::move(outcome));
+  index_[t] = lru_.begin();
+  if (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    MLSIM_COUNTER_ADD(obs::names::kClusterCacheEvictions, 1);
+  }
+  MLSIM_GAUGE_SET(obs::names::kClusterCacheEntries,
+                  static_cast<double>(lru_.size()));
+}
+
+}  // namespace mlsim::dist

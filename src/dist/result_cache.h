@@ -1,0 +1,75 @@
+// Content-addressed shard-result cache (docs/DISTRIBUTED.md "Result
+// cache").
+//
+// Shard outcomes are pure functions of (trace, options, shard) — exactly
+// what core::run_fingerprint hashes plus the shard descriptor — so a
+// completed outcome can be memoized and served to any later run with the
+// same address: a retried run after a coordinator error, a resubmitted
+// service request, or a sweep re-running the same workload. The cache is
+// bounded (LRU eviction) and lives coordinator-side only; nothing about it
+// is visible on the wire, and a served outcome is byte-identical to a
+// recomputed one, so the merged CPI stays bit-identical to the in-process
+// engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "core/shard.h"
+
+namespace mlsim::dist {
+
+class ShardResultCache {
+ public:
+  /// Full content address of one shard outcome. The fingerprint already
+  /// determines the ShardPlan (it hashes trace + options + parts), but the
+  /// descriptor fields are kept in the key so a hash collision across
+  /// differently-shaped runs can never serve a mis-sized outcome.
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t shard = 0;
+    std::uint64_t part_lo = 0;
+    std::uint64_t part_hi = 0;
+  };
+
+  /// `max_entries == 0` disables the cache: lookups miss (uncounted) and
+  /// inserts are dropped.
+  explicit ShardResultCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  bool enabled() const { return max_entries_ > 0; }
+
+  /// Returns the cached outcome (valid until the next insert) and bumps the
+  /// entry to most-recently-used, or nullptr on a miss. Counts hit/miss.
+  const core::ShardOutcome* lookup(const Key& k);
+
+  /// Memoize one completed outcome, evicting the least-recently-used entry
+  /// when full. Inserting an existing key refreshes its payload and recency.
+  void insert(const Key& k, core::ShardOutcome outcome);
+
+  std::size_t entries() const { return lru_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  using KeyTuple =
+      std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>;
+  static KeyTuple as_tuple(const Key& k) {
+    return {k.fingerprint, k.shard, k.part_lo, k.part_hi};
+  }
+
+  std::size_t max_entries_;
+  /// Front = most recently used.
+  std::list<std::pair<KeyTuple, core::ShardOutcome>> lru_;
+  std::map<KeyTuple, decltype(lru_)::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mlsim::dist

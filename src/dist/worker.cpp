@@ -183,6 +183,13 @@ WorkerStats run_worker(const WorkerConfig& cfg) {
                               engine.block_outcome(a.part_lo, a.part_hi),
                               tracing ? a.trace_id : 0, spans));
             ++stats.shards_computed;
+            if (cfg.leave_after_shards > 0 &&
+                stats.shards_computed >= cfg.leave_after_shards) {
+              // Planned departure: the Result above already drained, so
+              // leave idle — the coordinator marks us departed, not lost.
+              net::send_frame(conn, encode_goodbye({s.id, kIdleShard}));
+              return stats;
+            }
           } catch (const CheckError& e) {
             // Deterministic content failure: rerunning the shard anywhere
             // reproduces it, so the coordinator must fail the run.

@@ -27,6 +27,11 @@ struct WorkerConfig {
   /// Connection attempts (20 ms apart) before giving up with IoError —
   /// covers the races around coordinator startup and kill-reconnect.
   int connect_attempts = 100;
+  /// Planned departure: after computing this many shards, announce Goodbye
+  /// and leave — the coordinator requeues without waiting out the heartbeat
+  /// timeout. 0 = stay until Shutdown (models scale-down / spot preemption
+  /// with notice).
+  std::size_t leave_after_shards = 0;
 };
 
 struct WorkerStats {

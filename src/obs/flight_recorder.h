@@ -37,6 +37,11 @@ enum class Event : std::uint32_t {
   kHung,                // abandoned by the hang watchdog
   kFailed,              // engine failure
   kCompleted,           // success
+  // Elastic-cluster events (docs/DISTRIBUTED.md), stamped by the
+  // coordinator under the run's session id with detail = shard index.
+  kShardStolen,         // assigned shard rebalanced off a slow worker
+  kShardSpeculated,     // straggling shard duplicated onto an idle worker
+  kCacheHit,            // shard served from the result cache, not dispatched
 };
 
 constexpr const char* to_string(Event ev) {
@@ -54,6 +59,9 @@ constexpr const char* to_string(Event ev) {
     case Event::kHung: return "hung";
     case Event::kFailed: return "failed";
     case Event::kCompleted: return "completed";
+    case Event::kShardStolen: return "shard_stolen";
+    case Event::kShardSpeculated: return "shard_speculated";
+    case Event::kCacheHit: return "cache_hit";
   }
   return "unknown";
 }

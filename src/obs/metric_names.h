@@ -86,6 +86,8 @@ inline constexpr const char* kSvcBreakerState = "service.breaker_state";
 inline constexpr const char* kSvcBreakerTrips = "service.breaker_trips";
 inline constexpr const char* kSvcBreakerProbes = "service.breaker_probes";
 inline constexpr const char* kSvcRequestNs = "service.request_ns";
+// Per-tenant admission quota rejections (docs/SERVICE.md).
+inline constexpr const char* kSvcRejectedQuota = "service.rejected_quota";
 
 // -- batcher (continuous-batching scheduler, src/service/batcher.cpp;
 //    docs/BATCHING.md) --------------------------------------------------------
@@ -118,6 +120,26 @@ inline constexpr const char* kDistWorkersLost = "dist.workers_lost";
 inline constexpr const char* kDistShardLatencyUs = "dist.shard_latency_us";
 // Completed shards per worker connection, recorded when a run finishes.
 inline constexpr const char* kDistShardsPerWorker = "dist.shards_per_worker";
+// Planned departures: workers that sent Goodbye instead of going silent.
+inline constexpr const char* kDistWorkersDeparted = "dist.workers_departed";
+
+// -- elastic cluster (work stealing, speculative straggler dispatch, and
+//    the shard-result cache, src/dist/; docs/DISTRIBUTED.md) -----------------
+// Assigned shards rebalanced away from a slow worker onto an idle one.
+inline constexpr const char* kClusterStealShards = "cluster.steal.shards";
+// Straggling shards duplicated onto an idle worker, and the duplicates
+// whose Result arrived before the original owner's.
+inline constexpr const char* kClusterSpeculativeDispatched =
+    "cluster.speculative.dispatched";
+inline constexpr const char* kClusterSpeculativeWins =
+    "cluster.speculative.wins";
+// Content-addressed shard-result cache keyed by (run fingerprint, shard
+// descriptor): hit/miss/LRU-eviction counts and current occupancy.
+inline constexpr const char* kClusterCacheHits = "cluster.cache.hits";
+inline constexpr const char* kClusterCacheMisses = "cluster.cache.misses";
+inline constexpr const char* kClusterCacheEvictions =
+    "cluster.cache.evictions";
+inline constexpr const char* kClusterCacheEntries = "cluster.cache.entries";
 
 // -- cluster rollups (coordinator-side aggregation of worker heartbeat
 //    deltas, src/dist/coordinator.cpp; docs/OBSERVABILITY.md) ----------------
@@ -202,6 +224,7 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kSvcBreakerTrips, MetricKind::kCounter},
     {kSvcBreakerProbes, MetricKind::kCounter},
     {kSvcRequestNs, MetricKind::kHistogram},
+    {kSvcRejectedQuota, MetricKind::kCounter},
     {kBatchItems, MetricKind::kCounter},
     {kBatchDroppedCancelled, MetricKind::kCounter},
     {kBatchQueueDepth, MetricKind::kGauge},
@@ -223,6 +246,14 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kDistWorkersLost, MetricKind::kCounter},
     {kDistShardLatencyUs, MetricKind::kHistogram},
     {kDistShardsPerWorker, MetricKind::kHistogram},
+    {kDistWorkersDeparted, MetricKind::kCounter},
+    {kClusterStealShards, MetricKind::kCounter},
+    {kClusterSpeculativeDispatched, MetricKind::kCounter},
+    {kClusterSpeculativeWins, MetricKind::kCounter},
+    {kClusterCacheHits, MetricKind::kCounter},
+    {kClusterCacheMisses, MetricKind::kCounter},
+    {kClusterCacheEvictions, MetricKind::kCounter},
+    {kClusterCacheEntries, MetricKind::kGauge},
     {kClusterWorkerInstructions, MetricKind::kCounter},
     {kClusterWorkerPartitionsDone, MetricKind::kCounter},
     {kClusterWorkerRetries, MetricKind::kCounter},

@@ -44,6 +44,11 @@ struct Request {
 
   // ---- scheduling ----------------------------------------------------------
   Priority priority = Priority::kNormal;
+  /// Tenant the request is accounted to. Empty = the anonymous tenant.
+  /// With ServiceOptions::tenant_quota set, each tenant's outstanding
+  /// (queued + running) requests are bounded, and the queue drains
+  /// fair-share across tenants within a priority (docs/SERVICE.md).
+  std::string tenant;
   /// Budget from submission to completion; 0 = none. A request that is
   /// already past its deadline when a worker picks it up is failed without
   /// burning any simulation work.
@@ -73,6 +78,7 @@ enum class ResponseStatus : std::uint8_t {
   kRejectedQueueFull,  // bounded queue at capacity
   kRejectedOverload,   // too many outstanding requests service-wide
   kRejectedShedding,   // low-priority load shed under pressure
+  kRejectedQuota,      // tenant over its outstanding-request quota
   // Accepted but not completed.
   kDeadlineExceeded,  // deadline fired before or during simulation
   kCancelled,         // caller cancelled or service shut down
@@ -85,7 +91,8 @@ const char* to_string(ResponseStatus s);
 inline bool is_rejection(ResponseStatus s) {
   return s == ResponseStatus::kRejectedQueueFull ||
          s == ResponseStatus::kRejectedOverload ||
-         s == ResponseStatus::kRejectedShedding;
+         s == ResponseStatus::kRejectedShedding ||
+         s == ResponseStatus::kRejectedQuota;
 }
 
 struct Response {

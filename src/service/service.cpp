@@ -44,6 +44,7 @@ const char* to_string(ResponseStatus s) {
     case ResponseStatus::kRejectedQueueFull: return "rejected_queue_full";
     case ResponseStatus::kRejectedOverload: return "rejected_overload";
     case ResponseStatus::kRejectedShedding: return "rejected_shedding";
+    case ResponseStatus::kRejectedQuota: return "rejected_quota";
     case ResponseStatus::kDeadlineExceeded: return "deadline_exceeded";
     case ResponseStatus::kCancelled: return "cancelled";
     case ResponseStatus::kWorkerHung: return "worker_hung";
@@ -143,13 +144,40 @@ void SimulationService::export_gauges_locked() const {
   MLSIM_GAUGE_SET(obs::names::kSvcInflight, static_cast<double>(busy_));
 }
 
+void SimulationService::tenant_dec(std::map<std::string, std::size_t>& m,
+                                   const std::string& tenant) {
+  const auto it = m.find(tenant);
+  if (it == m.end()) return;
+  if (--it->second == 0) m.erase(it);
+}
+
 SimulationService::StatePtr SimulationService::pop_locked() {
   for (auto& q : queues_) {
-    if (!q.empty()) {
-      StatePtr st = q.front();
-      q.pop_front();
-      return st;
+    if (q.empty()) continue;
+    auto best = q.begin();
+    if (opts_.tenant_quota > 0) {
+      // Fair-share drain: within the highest non-empty priority, pick the
+      // earliest request of the tenant with the fewest running requests, so
+      // one tenant's burst cannot monopolize the workers. Ties keep FIFO,
+      // which is also the single-tenant (and no-tenant) behavior.
+      const auto running_of = [&](const std::string& t) {
+        const auto it = tenant_running_.find(t);
+        return it != tenant_running_.end() ? it->second : std::size_t{0};
+      };
+      std::size_t best_running = running_of((*best)->req.tenant);
+      for (auto it = std::next(q.begin()); it != q.end(); ++it) {
+        const std::size_t r = running_of((*it)->req.tenant);
+        if (r < best_running) {
+          best = it;
+          best_running = r;
+        }
+      }
     }
+    StatePtr st = *best;
+    q.erase(best);
+    tenant_dec(tenant_queued_, st->req.tenant);
+    ++tenant_running_[st->req.tenant];
+    return st;
   }
   return nullptr;
 }
@@ -164,7 +192,8 @@ obs::flight::Event flight_event(ResponseStatus s) {
     case ResponseStatus::kCompleted: return Event::kCompleted;
     case ResponseStatus::kRejectedQueueFull:
     case ResponseStatus::kRejectedOverload:
-    case ResponseStatus::kRejectedShedding: return Event::kRejected;
+    case ResponseStatus::kRejectedShedding:
+    case ResponseStatus::kRejectedQuota: return Event::kRejected;
     case ResponseStatus::kDeadlineExceeded: return Event::kDeadlineMissed;
     case ResponseStatus::kCancelled: return Event::kCancelled;
     case ResponseStatus::kWorkerHung: return Event::kHung;
@@ -202,6 +231,10 @@ void SimulationService::resolve_locked(const StatePtr& st, Response rsp) {
     case ResponseStatus::kRejectedShedding:
       ++stats_.rejected_shedding;
       MLSIM_COUNTER_ADD(obs::names::kSvcRejectedShedding, 1);
+      break;
+    case ResponseStatus::kRejectedQuota:
+      ++stats_.rejected_quota;
+      MLSIM_COUNTER_ADD(obs::names::kSvcRejectedQuota, 1);
       break;
     case ResponseStatus::kDeadlineExceeded:
       ++stats_.deadline_exceeded;
@@ -267,6 +300,22 @@ SimulationService::Ticket SimulationService::submit(Request req) {
     resolve_locked(st, std::move(rsp));
     return ticket;
   }
+  if (opts_.tenant_quota > 0) {
+    const auto qd = tenant_queued_.find(st->req.tenant);
+    const auto rn = tenant_running_.find(st->req.tenant);
+    const std::size_t outstanding =
+        (qd != tenant_queued_.end() ? qd->second : 0) +
+        (rn != tenant_running_.end() ? rn->second : 0);
+    if (outstanding >= opts_.tenant_quota) {
+      Response rsp;
+      rsp.status = ResponseStatus::kRejectedQuota;
+      rsp.error = "tenant \"" + st->req.tenant + "\" at its quota (" +
+                  std::to_string(opts_.tenant_quota) +
+                  " outstanding requests)";
+      resolve_locked(st, std::move(rsp));
+      return ticket;
+    }
+  }
   if (st->req.priority == Priority::kLow && queued >= shed_limit_) {
     Response rsp;
     rsp.status = ResponseStatus::kRejectedShedding;
@@ -282,6 +331,7 @@ SimulationService::Ticket SimulationService::submit(Request req) {
   obs::flight::record(st->id, obs::flight::Event::kQueued,
                       static_cast<std::uint64_t>(st->req.priority));
   queues_[static_cast<std::size_t>(st->req.priority)].push_back(st);
+  ++tenant_queued_[st->req.tenant];
   export_gauges_locked();
   cv_.notify_one();
   return ticket;
@@ -294,6 +344,7 @@ bool SimulationService::cancel(std::uint64_t id) {
       if ((*it)->id != id) continue;
       StatePtr st = *it;
       q.erase(it);
+      tenant_dec(tenant_queued_, st->req.tenant);
       Response rsp;
       rsp.status = ResponseStatus::kCancelled;
       rsp.error = "cancelled while queued";
@@ -329,6 +380,7 @@ void SimulationService::worker_loop(std::size_t slot_index) {
       rsp.status = ResponseStatus::kDeadlineExceeded;
       rsp.error = "deadline expired before a worker picked the request up";
       resolve_locked(st, std::move(rsp));
+      tenant_dec(tenant_running_, st->req.tenant);
       continue;
     }
 
@@ -401,6 +453,11 @@ void SimulationService::worker_loop(std::size_t slot_index) {
     slot.active = nullptr;
     slot.abandoned = false;
     if (!abandoned) resolve_locked(st, std::move(rsp));
+    // Whether resolved here or abandoned to the watchdog, this attempt is no
+    // longer running. (A watchdog requeue re-counts the request as queued,
+    // so the tenant transiently holds both a queued and a running slot until
+    // we reach this line — the conservative direction for a quota.)
+    tenant_dec(tenant_running_, st->req.tenant);
     export_gauges_locked();
   }
 }
@@ -441,6 +498,7 @@ void SimulationService::watchdog_loop() {
         obs::flight::record(st->id, obs::flight::Event::kRetried,
                             st->hang_requeues);
         queues_[static_cast<std::size_t>(st->req.priority)].push_front(st);
+        ++tenant_queued_[st->req.tenant];
         export_gauges_locked();
         cv_.notify_one();
       } else {
@@ -608,7 +666,8 @@ std::string SimulationService::health_json(std::size_t last_errors) const {
      << ",\"accepted\":" << stats_.accepted << ",\"rejected\":{"
      << "\"queue_full\":" << stats_.rejected_queue_full
      << ",\"overload\":" << stats_.rejected_overload
-     << ",\"shedding\":" << stats_.rejected_shedding << '}'
+     << ",\"shedding\":" << stats_.rejected_shedding
+     << ",\"quota\":" << stats_.rejected_quota << '}'
      << ",\"completed\":" << stats_.completed
      << ",\"failed\":" << stats_.failed
      << ",\"deadline_exceeded\":" << stats_.deadline_exceeded

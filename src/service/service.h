@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +55,12 @@ struct ServiceOptions {
   std::size_t max_outstanding = 0;
   /// Queue fill fraction at which kLow requests are shed.
   double shed_fraction = 0.75;
+  /// Per-tenant outstanding (queued + running) bound; 0 = unlimited. A
+  /// tenant at its quota gets typed kRejectedQuota responses while other
+  /// tenants are still admitted, and the queue drains fair-share across
+  /// tenants within a priority — one noisy tenant cannot monopolize the
+  /// workers (docs/SERVICE.md).
+  std::size_t tenant_quota = 0;
 
   /// Watchdog: a worker whose heartbeat is stale for this long is hung.
   std::chrono::milliseconds hang_timeout{250};
@@ -122,6 +129,7 @@ class SimulationService {
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t rejected_overload = 0;
     std::uint64_t rejected_shedding = 0;
+    std::uint64_t rejected_quota = 0;
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t deadline_exceeded = 0;
@@ -132,7 +140,8 @@ class SimulationService {
     std::uint64_t degraded = 0;  // completed on (or partly on) the fallback
 
     std::uint64_t rejected() const {
-      return rejected_queue_full + rejected_overload + rejected_shedding;
+      return rejected_queue_full + rejected_overload + rejected_shedding +
+             rejected_quota;
     }
   };
 
@@ -182,6 +191,9 @@ class SimulationService {
   StatePtr pop_locked();
   std::size_t queued_locked() const;
   void export_gauges_locked() const;
+  /// Decrement a per-tenant counter, erasing the entry at zero.
+  static void tenant_dec(std::map<std::string, std::size_t>& m,
+                         const std::string& tenant);
 
   core::LatencyPredictor& primary_;
   core::LatencyPredictor& fallback_;
@@ -195,6 +207,11 @@ class SimulationService {
   bool stopping_ = false;
   bool watchdog_stop_ = false;  // set after workers drain and join
   std::deque<StatePtr> queues_[kNumPriorities];
+  /// Per-tenant occupancy, under mu_: queued_ backs the quota admission
+  /// check (with running_), running_ drives the fair-share pop. Entries are
+  /// erased at zero so idle tenants cost nothing.
+  std::map<std::string, std::size_t> tenant_queued_;
+  std::map<std::string, std::size_t> tenant_running_;
   std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;
   std::thread watchdog_;

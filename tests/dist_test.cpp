@@ -10,6 +10,7 @@
 
 #include <sys/wait.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "device/fault.h"
 #include "dist/coordinator.h"
 #include "dist/protocol.h"
+#include "dist/result_cache.h"
 #include "dist/worker.h"
 #include "net/frame.h"
 #include "obs/obs.h"
@@ -347,8 +349,8 @@ TEST(Dist, LateResultAfterReassignmentIsNotMergedTwice) {
       HeartbeatMsg hb;
       hb.session = a.session;
       hb.shard = a.shard;
-      for (int i = 0; i < 16; ++i) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      for (int i = 0; i < 32; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
         net::send_frame(s->conn, encode_heartbeat(hb));
       }
       net::send_frame(s->conn,
@@ -372,7 +374,11 @@ TEST(Dist, LateResultAfterReassignmentIsNotMergedTwice) {
   const auto out = coord->run(tr, opts);
   expect_identical(local, out);
   EXPECT_GT(coord->stats().reassignments, 0u);
-  EXPECT_EQ(coord->stats().duplicates_dropped, 1u);
+  // At least `slow`'s late delivery must be dropped. Under heavy suite load
+  // (TSan, -j8) a scheduler stall can push `holder` past the heartbeat
+  // timeout too, adding a benign extra requeue + duplicate — the proof that
+  // nothing merged twice is shards_completed plus the bit-identical CPI.
+  EXPECT_GE(coord->stats().duplicates_dropped, 1u);
   EXPECT_EQ(coord->stats().shards_completed, 2u);
 
   coord.reset();
@@ -592,6 +598,20 @@ TEST(DistProtocol, HeartbeatCarriesBusyRatioAndRollups) {
   EXPECT_TRUE(v1.rollups.empty());
 }
 
+TEST(DistProtocol, GoodbyeRoundTrips) {
+  GoodbyeMsg m;
+  m.session = 77;
+  m.shard = 3;
+  const GoodbyeMsg d = decode_goodbye(encode_goodbye(m), "test");
+  EXPECT_EQ(d.session, 77u);
+  EXPECT_EQ(d.shard, 3u);
+
+  GoodbyeMsg idle;
+  idle.session = 9;
+  idle.shard = kIdleShard;
+  EXPECT_EQ(decode_goodbye(encode_goodbye(idle), "test").shard, kIdleShard);
+}
+
 TEST(Dist, V1WorkerCompletesRunAndGetsV1Frames) {
   // End-to-end backward compatibility: a worker that Hellos with protocol
   // v1 joins, receives byte-exact v1 Assigns (no trace context even though
@@ -706,15 +726,523 @@ TEST(Dist, HeartbeatRollupsFoldIntoClusterMetrics) {
   obs::set_enabled(false);
 }
 
+// ---- elasticity & churn ----------------------------------------------------
+
+TEST(Dist, GoodbyeRequeuesInFlightShardWithoutTimeout) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  // The requeue must come from the Goodbye, not from staleness: a timeout
+  // this large can never fire inside the test.
+  co.heartbeat_timeout_ms = 30000;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // Takes a shard, then announces a planned departure instead of computing.
+  std::thread leaver([port] {
+    try {
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      net::send_frame(s->conn, encode_goodbye({a.session, a.shard}));
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }  // until the coordinator closes the connection
+    } catch (const IoError&) {
+    }
+  });
+  std::thread rescuer([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  const auto st = coord->stats();
+  EXPECT_EQ(st.workers_departed, 1u);
+  EXPECT_EQ(st.workers_lost, 0u);  // a Goodbye is not a loss
+  EXPECT_GE(st.reassignments, 1u);
+  EXPECT_EQ(st.shards_completed, 2u);
+
+  coord.reset();
+  leaver.join();
+  rescuer.join();
+}
+
+TEST(Dist, WorkerLeaveAfterShardsDepartsCleanly) {
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);  // 4 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 30000;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+
+  // A real worker that drains one shard and then leaves on purpose (the
+  // scale-down / supervisor-restart path); the stayer finishes the rest.
+  WorkerStats leaver_stats;
+  std::thread leaver([&leaver_stats, port = coord->port()] {
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    cfg.leave_after_shards = 1;
+    try {
+      leaver_stats = run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+  std::thread stayer = worker_thread(coord->port());
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  const auto st = coord->stats();
+  EXPECT_EQ(st.shards_completed, 4u);
+  EXPECT_EQ(st.workers_departed, 1u);
+  EXPECT_EQ(st.workers_lost, 0u);
+  leaver.join();  // returned on its own after the Goodbye
+  EXPECT_EQ(leaver_stats.shards_computed, 1u);
+
+  coord.reset();
+  stayer.join();
+}
+
+TEST(Dist, WorkerJoinsMidRunAndReceivesWork) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 1;
+  co.heartbeat_timeout_ms = 30000;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // The founding member holds its shard long enough that the run is still
+  // in flight when the second worker joins; the joiner must get the other
+  // shard through the normal Hello/Welcome handshake, mid-run.
+  std::thread holder([port] {
+    try {
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      std::this_thread::sleep_for(std::chrono::milliseconds(800));
+      net::send_frame(s->conn,
+                      encode_result({a.session, a.shard, a.attempt}, outcome));
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }
+    } catch (const IoError&) {
+    }
+  });
+  WorkerStats joiner_stats;
+  std::thread joiner([&joiner_stats, port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      joiner_stats = run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_EQ(coord->stats().workers_joined, 2u);
+  EXPECT_EQ(coord->stats().shards_completed, 2u);
+
+  coord.reset();
+  holder.join();
+  joiner.join();
+  EXPECT_GE(joiner_stats.shards_computed, 1u);
+}
+
+TEST(Dist, StolenShardMergesBitIdentical) {
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);  // 4 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 30000;  // staleness must not be the rescuer
+  co.poll_ms = 20;
+  co.steal = true;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // The straggler takes a shard and never delivers; the fast worker clears
+  // the other three (establishing a fleet pace), goes idle, and the
+  // coordinator must steal the held shard onto it.
+  std::thread straggler([port] {
+    try {
+      auto s = fake_join(port);
+      (void)fake_await_assign(*s);
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }  // hold the shard until the coordinator goes away
+    } catch (const IoError&) {
+    }
+  });
+  std::thread fast([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  const auto st = coord->stats();
+  EXPECT_GE(st.steals, 1u);
+  EXPECT_EQ(st.shards_completed, 4u);
+  EXPECT_EQ(st.reassignments, 0u);  // stealing, not presumed-dead requeueing
+
+  coord.reset();
+  straggler.join();
+  fast.join();
+}
+
+TEST(Dist, SpeculativeDuplicatesBothCompleteBitIdentical) {
+  const auto tr = make_trace("xz", 10000);
+  const auto opts = base_options(10, 5);  // 5 shards of 2 partitions
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 4;
+  co.heartbeat_timeout_ms = 30000;
+  co.poll_ms = 20;
+  co.speculate_pct = 50.0;  // duplicate anything slower than the median
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // Join order is choreographed: the two stragglers take shards 0 and 1;
+  // the scripted twin joins last, so the rebalancer's idle pick hands it
+  // the first speculative duplicate (it sits on it), while the real worker
+  // gets the second and completes it fast. Straggler B then delivers its
+  // own copy of an already-completed shard while the run is still alive —
+  // both copies complete, exactly one is merged.
+  std::thread slow_a([port] {
+    try {
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      std::this_thread::sleep_for(std::chrono::milliseconds(4500));
+      net::send_frame(s->conn,
+                      encode_result({a.session, a.shard, a.attempt}, outcome));
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }
+    } catch (const IoError&) {
+    }
+  });
+  std::thread slow_b([port] {
+    try {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      const auto outcome = fake_compute(*s, a);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+      net::send_frame(s->conn,
+                      encode_result({a.session, a.shard, a.attempt}, outcome));
+      std::string payload;
+      while (net::recv_frame(s->conn, payload)) {
+      }
+    } catch (const IoError&) {
+    }
+  });
+  std::thread fast([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    WorkerConfig cfg;
+    cfg.port = port;
+    cfg.heartbeat_ms = 50;
+    try {
+      run_worker(cfg);
+    } catch (const IoError&) {
+    }
+  });
+  std::thread twin([port] {
+    try {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      auto s = fake_join(port);
+      while (true) {
+        const AssignMsg a = fake_await_assign(*s);
+        const auto outcome = fake_compute(*s, a);
+        if (a.shard <= 1) {
+          // A speculative copy of a straggler's shard: hold it so the
+          // original owners' deliveries land while the run is in flight.
+          std::this_thread::sleep_for(std::chrono::milliseconds(4000));
+        }
+        net::send_frame(
+            s->conn, encode_result({a.session, a.shard, a.attempt}, outcome));
+      }
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  const auto st = coord->stats();
+  EXPECT_GE(st.speculations, 2u);
+  EXPECT_GE(st.duplicates_dropped, 1u);
+  EXPECT_EQ(st.shards_completed, 5u);
+
+  coord.reset();
+  slow_a.join();
+  slow_b.join();
+  fast.join();
+  twin.join();
+}
+
+TEST(Dist, RepeatedRunIsServedEntirelyFromResultCache) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 30000;
+  co.result_cache_entries = 64;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w = worker_thread(coord->port());
+
+  const auto first = coord->run(tr, opts);
+  expect_identical(local, first);
+  const auto s1 = coord->stats();
+  EXPECT_EQ(s1.cache_hits, 0u);
+  EXPECT_EQ(s1.cache_misses, 2u);
+  EXPECT_EQ(s1.shards_dispatched, 2u);
+
+  // The identical run again: every shard is served from the cache, nothing
+  // is dispatched, and the merge is still bit-identical.
+  const auto second = coord->run(tr, opts);
+  expect_identical(local, second);
+  const auto s2 = coord->stats();
+  EXPECT_EQ(s2.cache_hits, 2u);
+  EXPECT_EQ(s2.shards_dispatched, s1.shards_dispatched);
+  EXPECT_EQ(s2.shards_completed, s1.shards_completed);
+
+  coord.reset();
+  w.join();
+}
+
+TEST(Dist, ResultCacheNeverHitsAcrossDifferentFingerprints) {
+  const auto tr = make_trace("xz", 8000);
+  const auto opts_a = base_options(4, 2);  // 2 shards
+  auto opts_b = base_options(4, 2);
+  opts_b.context_length = 32;  // different run fingerprint, same shape
+
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 30000;
+  co.result_cache_entries = 64;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w = worker_thread(coord->port());
+
+  expect_identical(local_reference(tr, opts_a), coord->run(tr, opts_a));
+  // Different options address different content: all misses, real dispatch,
+  // and the result matches ITS OWN reference (a stale hit would not).
+  expect_identical(local_reference(tr, opts_b), coord->run(tr, opts_b));
+  const auto st = coord->stats();
+  EXPECT_EQ(st.cache_hits, 0u);
+  EXPECT_EQ(st.cache_misses, 4u);
+  EXPECT_EQ(st.shards_dispatched, 4u);
+
+  // Back to the first fingerprint: its entries are still addressable.
+  expect_identical(local_reference(tr, opts_a), coord->run(tr, opts_a));
+  EXPECT_EQ(coord->stats().cache_hits, 2u);
+
+  coord.reset();
+  w.join();
+}
+
+TEST(ResultCache, LruEvictionAndAccounting) {
+  ShardResultCache cache(2);
+  EXPECT_TRUE(cache.enabled());
+  const ShardResultCache::Key k1{1, 0, 0, 2};
+  const ShardResultCache::Key k2{1, 1, 2, 4};
+  const ShardResultCache::Key k3{2, 0, 0, 2};
+
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  core::ShardOutcome o;
+  o.part_lo = 7;  // a recognizable payload
+  cache.insert(k1, o);
+  o.part_lo = 8;
+  cache.insert(k2, o);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Touch k1 so k2 becomes least-recently-used, then overflow: k2 goes.
+  ASSERT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.lookup(k1)->part_lo, 7u);
+  cache.insert(k3, o);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(k2), nullptr);
+  ASSERT_NE(cache.lookup(k3), nullptr);
+  ASSERT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Disabled cache: lookups miss uncounted, inserts are dropped.
+  ShardResultCache off(0);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.lookup(k1), nullptr);
+  off.insert(k1, o);
+  EXPECT_EQ(off.entries(), 0u);
+  EXPECT_EQ(off.misses(), 0u);
+}
+
+TEST(Dist, MixedFleetBusyGaugeExcludesV1Workers) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "stripped build";
+  obs::set_enabled(true);
+  obs::reset_trace();
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 30000;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const std::uint16_t port = coord->port();
+
+  // A v1 relic that nonetheless ships a v2-shaped heartbeat claiming 90%
+  // busy: the version gate (not just a sign check) must keep it out of the
+  // fleet-mean gauge.
+  std::thread relic([port] {
+    try {
+      auto s = std::make_unique<FakeSession>();
+      s->conn = net::TcpConn::connect("127.0.0.1", port);
+      net::send_frame(s->conn, encode_hello(1));
+      std::string payload;
+      while (true) {
+        if (!net::recv_frame(s->conn, payload)) {
+          throw IoError("coordinator closed during fake handshake");
+        }
+        if (peek_type(payload, "fake") == MsgType::kWelcome) break;
+      }
+      s->welcome = decode_welcome(payload, "fake");
+      s->injector = device::FaultInjector(s->welcome.config.fault_options());
+      s->opts = s->welcome.config.to_options(
+          s->welcome.config.faults_enabled ? &s->injector : nullptr);
+      s->plan = core::ShardPlan::make(s->welcome.trace.size(), s->opts);
+      const AssignMsg a = fake_await_assign(*s);
+      HeartbeatMsg hb;
+      hb.session = a.session;
+      hb.shard = a.shard;
+      hb.busy_ratio = 0.9;
+      net::send_frame(s->conn, encode_heartbeat(hb));  // v2 bytes from a v1
+      std::string result =
+          encode_result({a.session, a.shard, a.attempt}, fake_compute(*s, a));
+      result.resize(result.size() - 16);  // v1 result: no telemetry tail
+      net::send_frame(s->conn, result);
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    } catch (const IoError&) {
+    }
+  });
+  std::thread modern([port] {
+    try {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      auto s = fake_join(port);
+      const AssignMsg a = fake_await_assign(*s);
+      HeartbeatMsg hb;
+      hb.session = a.session;
+      hb.shard = a.shard;
+      hb.busy_ratio = 0.25;
+      net::send_frame(s->conn, encode_heartbeat(hb));
+      net::send_frame(s->conn, encode_result({a.session, a.shard, a.attempt},
+                                             fake_compute(*s, a)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  // Mean busy over the fleet is exactly the v2 worker's report — the v1
+  // claim never dragged it.
+  EXPECT_DOUBLE_EQ(
+      obs::default_registry().gauge(obs::names::kClusterWorkerBusyRatio).value(),
+      0.25);
+  const std::string health = coord->cluster_json();
+  EXPECT_NE(health.find("\"busy_ratio\":null"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"busy_ratio\":0.25"), std::string::npos) << health;
+
+  coord.reset();
+  relic.join();
+  modern.join();
+  obs::set_enabled(false);
+}
+
+TEST(Dist, TelemetryScrapeDuringRunIsRaceFree) {
+  // stats(), connected_workers() and cluster_json() are hammered from a
+  // second thread for the whole run — under TSan this is the proof that the
+  // telemetry plane reads snapshots, not the run loop's live state.
+  const auto tr = make_trace("xz", 20000);
+  const auto opts = base_options(8, 4);  // 4 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 30000;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread w1 = worker_thread(coord->port());
+  std::thread w2 = worker_thread(coord->port());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const CoordinatorStats st = coord->stats();
+      EXPECT_LE(st.shards_completed, 4u);
+      EXPECT_LE(coord->connected_workers(), 2u);
+      EXPECT_FALSE(coord->cluster_json().empty());
+      ++scrapes;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  done.store(true);
+  scraper.join();
+  expect_identical(local, out);
+  EXPECT_GT(scrapes.load(), 0u);
+  EXPECT_EQ(coord->stats().shards_completed, 4u);
+
+  coord.reset();
+  w1.join();
+  w2.join();
+}
+
 // ---- real process isolation (fork) -----------------------------------------
 
 #if !defined(MLSIM_TSAN)
 
-/// Fork a real worker process. The child never returns.
+/// Fork a real worker process. The child never returns. `delay_ms` makes
+/// the child sleep before connecting — a late joiner forked while the
+/// parent is still quiet (forking mid-run from a multithreaded parent is
+/// not safe).
 pid_t fork_worker(std::uint16_t port, int heartbeat_ms = 50,
-                  bool enable_obs = false) {
+                  bool enable_obs = false, int delay_ms = 0) {
   const pid_t pid = fork();
   if (pid != 0) return pid;
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
   WorkerConfig cfg;
   cfg.port = port;
   cfg.heartbeat_ms = heartbeat_ms;
@@ -767,8 +1295,15 @@ TEST(DistProcess, HardKilledWorkerProcessIsRecoveredFrom) {
   ASSERT_GT(survivor, 0);
 
   // SIGKILL the victim shortly into the run — a genuine process death, not
-  // a simulated one. Whatever it was computing must be reassigned.
-  std::thread killer([victim] {
+  // a simulated one. Whatever it was computing must be reassigned. Wait for
+  // both workers to actually join first: under heavy test-suite load a
+  // fixed sleep can fire before the victim even connects, and a kill
+  // pre-Hello would leave the coordinator waiting for min_workers forever.
+  std::thread killer([&coord, victim] {
+    for (int i = 0; i < 1000; ++i) {
+      if (coord->stats().workers_joined >= 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     kill(victim, SIGKILL);
   });
@@ -792,6 +1327,60 @@ TEST(DistProcess, HardKilledWorkerProcessIsRecoveredFrom) {
   EXPECT_EQ(waitpid(survivor, &status, 0), survivor);
 }
 
+TEST(DistProcess, ChurnKilledAndJoinedWorkersStayBitIdentical) {
+  // The full churn chaos scenario: one worker process is SIGKILLed once the
+  // run is demonstrably mid-flight, a fresh one joins mid-run, and the
+  // merged CPI must still be bit-identical with the lost shard reassigned.
+  const auto tr = make_trace("mcf", 120000);
+  const auto opts = base_options(12, 12);  // 12 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.min_workers = 2;
+  co.heartbeat_timeout_ms = 500;
+  co.poll_ms = 20;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  const pid_t victim = fork_worker(coord->port());
+  const pid_t survivor = fork_worker(coord->port());
+  const pid_t joiner =
+      fork_worker(coord->port(), 50, /*enable_obs=*/false, /*delay_ms=*/250);
+  ASSERT_GT(victim, 0);
+  ASSERT_GT(survivor, 0);
+  ASSERT_GT(joiner, 0);
+
+  // Kill once a couple of shards have completed, observed through the same
+  // thread-safe stats() snapshot the telemetry plane scrapes.
+  std::thread killer([&coord, victim] {
+    for (int i = 0; i < 1000; ++i) {
+      if (coord->stats().shards_completed >= 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    kill(victim, SIGKILL);
+  });
+
+  core::ParallelSimResult out;
+  std::string run_error;
+  try {
+    out = coord->run(tr, opts);
+  } catch (const std::exception& e) {
+    run_error = e.what();
+  }
+  killer.join();
+  ASSERT_EQ(run_error, "");
+  expect_identical(local, out);
+  const auto st = coord->stats();
+  EXPECT_EQ(st.shards_completed, 12u);
+  EXPECT_EQ(st.workers_joined, 3u);
+  EXPECT_GE(st.workers_lost, 1u);
+  EXPECT_GT(st.reassignments, 0u);
+
+  coord.reset();
+  int status = 0;
+  EXPECT_EQ(waitpid(victim, &status, 0), victim);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(waitpid(survivor, &status, 0), survivor);
+  EXPECT_EQ(waitpid(joiner, &status, 0), joiner);
+}
 
 TEST(DistProcess, ThreeProcessesMergeOneDistributedTrace) {
   // The ISSUE's acceptance run, in miniature: a coordinator plus two real

@@ -134,6 +134,25 @@ TEST(MetricLint, EveryConstantIsReferencedInSources) {
          }();
 }
 
+TEST(MetricLint, ElasticityAndQuotaMetricsAreDeclared) {
+  // The elastic-cluster / tenant-quota schema (docs/DISTRIBUTED.md
+  // "Elasticity & churn", docs/SERVICE.md): renaming or dropping any of
+  // these silently breaks dashboards scraping /metrics.
+  std::set<std::string> names;
+  for (const auto& [constant, name] : declared_constants()) {
+    names.insert(name);
+  }
+  for (const char* required :
+       {"dist.workers_departed", "cluster.steal.shards",
+        "cluster.speculative.dispatched", "cluster.speculative.wins",
+        "cluster.cache.hits", "cluster.cache.misses",
+        "cluster.cache.evictions", "cluster.cache.entries",
+        "service.rejected_quota"}) {
+    EXPECT_EQ(names.count(required), 1u)
+        << "expected metric '" << required << "' to be declared";
+  }
+}
+
 TEST(MetricLint, NoRawStringLiteralsAtInstrumentationSites) {
   // Every MLSIM_COUNTER_ADD / MLSIM_GAUGE_SET / MLSIM_HIST_RECORD call site
   // must name a metric via a constant; a quoted first argument bypasses the

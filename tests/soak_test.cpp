@@ -102,6 +102,7 @@ void run_chaos_soak(bool batching) {
       case ResponseStatus::kRejectedQueueFull:
       case ResponseStatus::kRejectedOverload:
       case ResponseStatus::kRejectedShedding:
+      case ResponseStatus::kRejectedQuota:
       case ResponseStatus::kDeadlineExceeded:
       case ResponseStatus::kWorkerHung:
         EXPECT_FALSE(r.error.empty()) << to_string(r.status);
