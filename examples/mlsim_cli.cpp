@@ -38,6 +38,8 @@
 //              [--parallel=P] [--gpus=G] [--context=C] [--no-recovery]
 //              [--fault-worker-kill=R] [--fault-seed=S] [--verify]
 //              [--steal] [--speculate-pct=P] [--result-cache[=N]]
+//              [--journal=PATH] [--resume] [--journal-strict]
+//              [--drain-timeout-ms=T]
 //       Run one distributed parallel simulation as the cluster coordinator
 //       (docs/DISTRIBUTED.md): bind 127.0.0.1:<port> (0 = ephemeral, the
 //       bound port is printed), wait for --workers workers, dispatch shard
@@ -49,14 +51,26 @@
 //       duplicates shards older than that percentile of completed latency
 //       onto idle workers, --result-cache memoizes shard outcomes (N
 //       entries, default 1024) so repeated runs dispatch nothing.
+//       Crash safety (docs/RESILIENCE.md "Crash-safe coordination"):
+//       --journal appends every assignment and result to a durable
+//       write-ahead journal; after a crash, rerunning with --resume replays
+//       it so completed shards are never recomputed (--journal-strict makes
+//       a corrupt journal tail fatal instead of truncating it). SIGTERM or
+//       SIGINT drains gracefully: in-flight shards get --drain-timeout-ms
+//       (default 5000) to finish, the journal records a drained run-close,
+//       and the process exits 6; a second signal force-exits 7.
 //
 //   mlsim_cli worker --connect=host:port [--heartbeat-ms=M] [--no-reconnect]
-//              [--leave-after=N]
+//              [--leave-after=N] [--reconnect-budget=N]
 //       Join a coordinator as one worker process and compute shards until
 //       shut down. With --no-reconnect a simulated worker kill is final
 //       (the process exits) instead of rejoining like a supervised restart.
 //       --leave-after announces a planned departure (Goodbye) after N
 //       computed shards — models scale-down or spot preemption with notice.
+//       A worker that loses its connection mid-run reconnects with bounded
+//       exponential backoff (--reconnect-budget attempts, default 10) and
+//       re-attaches to its session — including to a coordinator restarted
+//       with --resume — re-delivering any finished-but-unacknowledged shard.
 //
 //   mlsim_cli serve <benchmark|trace.bin> [instructions] [--requests=N]
 //              [--workers=W] [--queue=Q] [--parallel=P] [--deadline-ms=D]
@@ -69,7 +83,10 @@
 //       service metrics. With --fault-* the run doubles as a chaos drill:
 //       device kills and corrupted outputs go through the parallel engine's
 //       recovery, and straggler attempts really stall workers for
-//       --stall-ms so the hang watchdog fires.
+//       --stall-ms so the hang watchdog fires. SIGTERM/SIGINT drains: the
+//       service stops admitting, in-flight requests get --drain-timeout-ms
+//       (default 5000) to finish, and the process exits 6 (a second signal
+//       force-exits 7).
 //
 // Observability (simulate/suite/stream; see docs/OBSERVABILITY.md):
 //   --metrics[=path]     enable the metrics registry; print a per-phase
@@ -88,13 +105,16 @@
 //
 // Exit codes: 0 success, 2 bad usage, 3 I/O failure (missing/unwritable
 // files), 4 corrupt data or violated invariant (CheckError), 5 any other
-// internal error.
+// internal error, 6 graceful drain after SIGTERM/SIGINT (progress journaled
+// — not a failure), 7 forced exit on a second signal.
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <limits>
 #include <string>
@@ -111,6 +131,7 @@
 #include "device/fault.h"
 #include "dist/coordinator.h"
 #include "dist/worker.h"
+#include "net/signal_pipe.h"
 #include "net/socket.h"
 #include "obs/obs.h"
 #include "obs/telemetry_http.h"
@@ -127,6 +148,12 @@ class UsageError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Graceful drain after SIGTERM/SIGINT: not a failure — progress was
+/// journaled (coordinator) or in-flight requests finished (serve).
+constexpr int kExitDrained = 6;
+/// A second signal while draining: immediate _exit from the handler.
+constexpr int kExitForced = 7;
 
 /// Strict unsigned decimal parse. Unlike std::stoull, rejects (with a
 /// distinct message each) empty values, signs — strtoull silently wraps
@@ -588,6 +615,9 @@ int cmd_coordinator(int argc, char** argv) {
   std::size_t result_cache = 0;
   bool have_telemetry = false;
   std::uint16_t telemetry_port = 0;
+  std::string journal_path;
+  bool resume = false, journal_strict = false;
+  int drain_timeout_ms = 5000;
   device::FaultOptions fault;
   fault.seed = 1;
   bool any_fault = false;
@@ -640,6 +670,17 @@ int cmd_coordinator(int argc, char** argv) {
     } else if (s.rfind("--result-cache=", 0) == 0) {
       result_cache = static_cast<std::size_t>(
           parse_positive("--result-cache", s.substr(15)));
+    } else if (s.rfind("--journal=", 0) == 0) {
+      journal_path = s.substr(10);
+      if (journal_path.empty()) throw UsageError("--journal needs a path");
+    } else if (s == "--resume") {
+      resume = true;
+    } else if (s == "--journal-strict") {
+      journal_strict = true;
+    } else if (s.rfind("--drain-timeout-ms=", 0) == 0) {
+      drain_timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_positive("--drain-timeout-ms", s.substr(19)),
+          std::numeric_limits<int>::max()));
     } else if (!s.empty() && s[0] != '-') {
       pos.push_back(s);
     } else {
@@ -655,12 +696,22 @@ int cmd_coordinator(int argc, char** argv) {
                  "[--gpus=G] [--context=C] [--no-recovery] "
                  "[--fault-worker-kill=R] [--fault-seed=S] [--verify] "
                  "[--steal] [--speculate-pct=P] [--result-cache[=N]] "
+                 "[--journal=PATH] [--resume] [--journal-strict] "
+                 "[--drain-timeout-ms=T] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
     return 2;
+  }
+  if (resume && journal_path.empty()) {
+    throw UsageError("--resume requires --journal=PATH");
   }
   const std::size_t n =
       pos.size() > 1 ? parse_size("[instructions]", pos[1]) : 20000;
   enable_obs(obs_flags);
+  // Bridge SIGTERM/SIGINT into the coordinator poll loop: first signal
+  // starts a graceful drain (exit 6), second force-exits 7. Installed
+  // before trace acquisition so a signal during slow labeling is queued
+  // for the run loop instead of killing the process with work undone.
+  net::SignalPipe& sig = net::SignalPipe::install(kExitForced);
   const auto tr = acquire(pos[0], n);
 
   core::MLSimulator::Options mopts;
@@ -678,6 +729,11 @@ int cmd_coordinator(int argc, char** argv) {
   co.steal = steal;
   co.speculate_pct = speculate_pct;
   co.result_cache_entries = result_cache;
+  co.journal_path = journal_path;
+  co.resume = resume;
+  co.journal_strict = journal_strict;
+  co.drain_timeout_ms = drain_timeout_ms;
+  co.wake_fd = sig.fd();
   dist::DistCoordinator coord(net::TcpListener::bind(port), co);
   std::printf("coordinator listening on 127.0.0.1:%u — waiting for %zu "
               "worker(s); join with:\n  mlsim_cli worker "
@@ -712,11 +768,13 @@ int cmd_coordinator(int argc, char** argv) {
               st.workers_joined, st.workers_lost, st.workers_departed,
               st.shards_dispatched, st.reassignments, st.duplicates_dropped,
               st.heartbeats);
-  if (steal || speculate_pct > 0.0 || result_cache > 0) {
+  if (steal || speculate_pct > 0.0 || result_cache > 0 ||
+      !journal_path.empty()) {
     std::printf("elastic: %zu stolen | %zu speculated | cache %zu hits / "
-                "%zu misses / %zu evictions\n",
+                "%zu misses / %zu evictions | %zu rejoined | "
+                "%zu replayed from journal\n",
                 st.steals, st.speculations, st.cache_hits, st.cache_misses,
-                st.cache_evictions);
+                st.cache_evictions, st.workers_rejoined, st.journal_replayed);
   }
   if (verify) {
     const auto local = sim.simulate_parallel(tr, po);
@@ -732,6 +790,12 @@ int cmd_coordinator(int argc, char** argv) {
   }
   coord.shutdown_workers();
   finish_obs(obs_flags);
+  if (coord.drain_requested()) {
+    // The run finished inside the drain window: report success, but exit
+    // with the drain code so a supervisor sees "terminated by request".
+    std::printf("drain requested — run completed before the deadline\n");
+    return kExitDrained;
+  }
   return 0;
 }
 
@@ -755,6 +819,11 @@ int cmd_worker(int argc, char** argv) {
       cfg.leave_after_shards = static_cast<std::size_t>(
           parse_positive("--leave-after", s.substr(14)));
       continue;
+    } else if (s.rfind("--reconnect-budget=", 0) == 0) {
+      cfg.reconnect_budget = static_cast<int>(std::min<std::uint64_t>(
+          parse_positive("--reconnect-budget", s.substr(19)),
+          std::numeric_limits<int>::max()));
+      continue;
     } else if (!s.empty() && s[0] != '-') {
       endpoint = s;  // bare host:port positional
     } else {
@@ -773,7 +842,7 @@ int cmd_worker(int argc, char** argv) {
   if (!have_endpoint) {
     std::fprintf(stderr, "usage: mlsim_cli worker --connect=host:port "
                          "[--heartbeat-ms=M] [--no-reconnect] "
-                         "[--leave-after=N]\n");
+                         "[--leave-after=N] [--reconnect-budget=N]\n");
     return 2;
   }
   std::printf("worker joining %s:%u\n", cfg.host.c_str(), cfg.port);
@@ -785,8 +854,9 @@ int cmd_worker(int argc, char** argv) {
   if (obs::kCompiledIn) obs::set_enabled(true);
   const auto st = dist::run_worker(cfg);
   std::printf("worker done: %zu shard(s) computed across %zu session(s), "
-              "%zu simulated kill(s)\n",
-              st.shards_computed, st.sessions, st.kills_simulated);
+              "%zu simulated kill(s), %zu rejoin(s)\n",
+              st.shards_computed, st.sessions, st.kills_simulated,
+              st.rejoins);
   return 0;
 }
 
@@ -799,6 +869,7 @@ int cmd_serve(int argc, char** argv) {
   std::size_t requests = 32, workers = 2, queue = 8, parallel = 4;
   std::size_t tenant_quota = 0;
   std::uint64_t deadline_ms = 0, stall_ms = 0;
+  std::uint64_t drain_timeout_ms = 5000;
   bool have_telemetry = false;
   std::uint16_t telemetry_port = 0;
   bool batching = false;
@@ -828,6 +899,8 @@ int cmd_serve(int argc, char** argv) {
           parse_positive("--tenant-quota", s.substr(15)));
     } else if (s.rfind("--stall-ms=", 0) == 0) {
       stall_ms = parse_u64("--stall-ms", s.substr(11));
+    } else if (s.rfind("--drain-timeout-ms=", 0) == 0) {
+      drain_timeout_ms = parse_positive("--drain-timeout-ms", s.substr(19));
     } else if (s == "--batch") {
       batching = true;
     } else if (s.rfind("--batch=", 0) == 0) {
@@ -859,7 +932,7 @@ int cmd_serve(int argc, char** argv) {
                  "usage: mlsim_cli serve <benchmark|trace.bin> [instructions] "
                  "[--requests=N] [--workers=W] [--queue=Q] [--parallel=P] "
                  "[--deadline-ms=D] [--tenant-quota=N] [--telemetry-port=N] "
-                 "[--batch[=N]] "
+                 "[--drain-timeout-ms=T] [--batch[=N]] "
                  "[--batch-wait-us=U] [--fault-kill=R] [--fault-corrupt=R] "
                  "[--fault-straggler=R] [--fault-seed=S] [--stall-ms=M] "
                  "[--metrics[=path]] [--trace-out=file.json]\n");
@@ -923,8 +996,32 @@ int cmd_serve(int argc, char** argv) {
     tickets.push_back(svc.submit(std::move(rq)));
   }
 
+  // Collect outcomes, watching the signal pipe: a SIGTERM/SIGINT mid-soak
+  // drains the service (stop admitting, let in-flight requests finish,
+  // cancel the rest) instead of dying with futures unresolved.
+  net::SignalPipe& sig = net::SignalPipe::install(kExitForced);
+  bool drained = false;
   std::size_t by_status[9] = {};
   for (auto& t : tickets) {
+    while (t.future.wait_for(std::chrono::milliseconds(50)) !=
+           std::future_status::ready) {
+      if (drained || !sig.signalled()) continue;
+      std::printf("signal %d: draining (timeout %llu ms)\n",
+                  sig.last_signal(),
+                  static_cast<unsigned long long>(drain_timeout_ms));
+      std::fflush(stdout);
+      // shutdown() blocks until in-flight work finishes — bound it with
+      // the drain deadline. On timeout, leave without running destructors
+      // (the stopper thread still owns the service).
+      auto stopper =
+          std::async(std::launch::async, [&svc] { svc.shutdown(); });
+      if (stopper.wait_for(std::chrono::milliseconds(drain_timeout_ms)) ==
+          std::future_status::timeout) {
+        std::fprintf(stderr, "drain deadline exceeded — exiting\n");
+        std::_Exit(kExitDrained);
+      }
+      drained = true;
+    }
     const service::Response rsp = t.future.get();
     ++by_status[static_cast<std::size_t>(rsp.status)];
   }
@@ -956,7 +1053,7 @@ int cmd_serve(int argc, char** argv) {
   std::printf("health: %s\n", svc.health_json().c_str());
   svc.shutdown();
   finish_obs(obs_flags);
-  return 0;
+  return drained ? kExitDrained : 0;
 }
 
 }  // namespace
@@ -986,6 +1083,10 @@ int main(int argc, char** argv) {
   } catch (const UsageError& e) {
     std::fprintf(stderr, "mlsim_cli: %s\n", e.what());
     return 2;
+  } catch (const DrainError& e) {
+    // Graceful drain, not a failure: progress is journaled for --resume.
+    std::fprintf(stderr, "mlsim_cli: %s\n", e.what());
+    return kExitDrained;
   } catch (const IoError& e) {
     std::fprintf(stderr, "mlsim_cli: I/O error: %s\n", e.what());
     return 3;

@@ -24,6 +24,15 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a graceful drain (SIGTERM/SIGINT) stops a run before it
+/// completes. Not a failure: in-flight work was allowed to finish, progress
+/// was journaled for `--resume`, and drivers map this to its own exit code
+/// so supervisors can tell "drained on request" from every error class.
+class DrainError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Verify `cond`; throw CheckError annotated with the call site otherwise.
 inline void check(bool cond, std::string_view msg,
                   std::source_location loc = std::source_location::current()) {

@@ -1,7 +1,10 @@
 #include "dist/coordinator.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 #include "dist/protocol.h"
@@ -44,15 +47,39 @@ double percentile_of(std::vector<double> v, double pct) {
 /// straggler from normal pace.
 constexpr std::size_t kMinPaceSamples = 3;
 
+/// Nonzero v4 rejoin token: splitmix64 of the run fingerprint. Derived, not
+/// random, so a restarted coordinator resuming the same work issues the
+/// identical token and pre-restart workers pass the rejoin check.
+std::uint64_t derive_session_token(std::uint64_t fingerprint) {
+  std::uint64_t z = fingerprint + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
 }  // namespace
 
 DistCoordinator::DistCoordinator(net::TcpListener listener,
                                  CoordinatorOptions opts)
     : listener_(std::move(listener)),
       opts_(opts),
-      cache_(opts.result_cache_entries) {
+      // Resume implies a result cache: the replayed outcomes have to live
+      // somewhere the dispatch pre-pass will find them.
+      cache_(opts.resume && opts.result_cache_entries == 0
+                 ? 1024
+                 : opts.result_cache_entries) {
   check(listener_.valid(), "coordinator needs a bound listener");
   check(opts_.max_assign_attempts > 0, "need at least one assignment attempt");
+  if (!opts_.journal_path.empty()) {
+    if (opts_.resume) {
+      lifecycle_ = "replaying";
+      refresh_health(nullptr);
+      resume_ = RunJournal::replay(opts_.journal_path, opts_.journal_strict);
+    }
+    journal_.open(opts_.journal_path);
+  }
+  lifecycle_ = "serving";
   refresh_health(nullptr);
 }
 
@@ -81,18 +108,28 @@ CoordinatorStats DistCoordinator::stats() const {
   return stats_snapshot_;
 }
 
-void DistCoordinator::accept_joiners(const std::string& welcome) {
+void DistCoordinator::accept_joiners(const WelcomeFrames& welcome,
+                                     RunState& rs) {
   // Drain the backlog: accept until the listener would block.
   for (;;) {
     auto conn = listener_.accept(0);
     if (!conn.has_value()) return;
+    RejoinMsg rj;
+    bool is_rejoin = false;
     try {
       if (!conn->readable(opts_.handshake_timeout_ms)) {
         continue;  // never said Hello; drop
       }
       std::string payload;
       if (!net::recv_frame(*conn, payload)) continue;
-      const auto version = decode_hello(payload, conn->peer());
+      std::uint32_t version = 0;
+      if (peek_type(payload, conn->peer()) == MsgType::kRejoin) {
+        rj = decode_rejoin(payload, conn->peer());
+        version = rj.version;
+        is_rejoin = true;
+      } else {
+        version = decode_hello(payload, conn->peer());
+      }
       if (version < kMinProtocolVersion || version > kProtocolVersion) {
         ++stats_.workers_rejected;
         net::send_frame(
@@ -103,7 +140,7 @@ void DistCoordinator::accept_joiners(const std::string& welcome) {
                                  std::to_string(kProtocolVersion) + ")"));
         continue;
       }
-      net::send_frame(*conn, welcome);
+      net::send_frame(*conn, version >= 4 ? welcome.v4 : welcome.legacy);
       auto w = std::make_unique<Worker>();
       w->conn = std::move(*conn);
       w->last_heard = Clock::now();
@@ -115,8 +152,29 @@ void DistCoordinator::accept_joiners(const std::string& welcome) {
     } catch (const CheckError&) {
       continue;  // spoke garbage instead of Hello
     }
-    ++stats_.workers_joined;
-    MLSIM_COUNTER_ADD(obs::names::kDistWorkersJoined, 1);
+    Worker& joined = *workers_.back();
+    if (is_rejoin && session_token_ != 0 && rj.token == session_token_) {
+      // Re-attach: the worker belonged to this run (the token is derived
+      // from the run fingerprint, so it also survives a coordinator
+      // restart). Its finished Result, if any, arrives under the fresh
+      // session right after the Welcome; its unfinished assignment is
+      // re-dispatched immediately instead of waiting for assign_pending.
+      ++stats_.workers_rejoined;
+      MLSIM_COUNTER_ADD(obs::names::kDistWorkersRejoined, 1);
+      obs::flight::record(session_, obs::flight::Event::kWorkerRejoined,
+                          rj.shard);
+      if (rj.shard < rs.shards.size() &&
+          rs.shards[rj.shard].state == ShardState::kPending &&
+          rs.shards[rj.shard].attempts < opts_.max_assign_attempts &&
+          send_assign(joined, rj.shard, rs)) {
+        rs.shards[rj.shard].state = ShardState::kAssigned;
+        rs.shards[rj.shard].owner = &joined;
+      }
+    } else {
+      // A stale or missing token demotes the reconnect to a fresh join.
+      ++stats_.workers_joined;
+      MLSIM_COUNTER_ADD(obs::names::kDistWorkersJoined, 1);
+    }
   }
 }
 
@@ -177,6 +235,7 @@ bool DistCoordinator::send_assign(Worker& w, std::size_t s, RunState& rs) {
     drop_worker(w, rs);
     return false;
   }
+  if (journal_.enabled()) journal_.assign(session_, s, a.attempt);
   ++rs.shards[s].attempts;
   w.shard = s;
   w.assigned_at = Clock::now();
@@ -335,6 +394,10 @@ void DistCoordinator::handle_frame(Worker& w, RunState& rs) {
           // The speculative duplicate beat the original owner.
           MLSIM_COUNTER_ADD(obs::names::kClusterSpeculativeWins, 1);
         }
+        // Durability before effect: the result is journaled before the
+        // shard is counted done, so a crash after this point re-serves it
+        // from the journal instead of re-dispatching it.
+        if (journal_.enabled()) journal_.result(session_, payload);
         rs.shards[s].outcome = std::move(d.outcome);
         rs.shards[s].state = ShardState::kDone;
         rs.shards[s].owner = nullptr;
@@ -421,6 +484,7 @@ core::ParallelSimResult DistCoordinator::run(
   ++session_;
   const core::ShardPlan plan = core::ShardPlan::make(n, opts);
   const std::uint64_t fp = core::run_fingerprint(trace, opts, plan.parts);
+  session_token_ = derive_session_token(fp);
   if (obs::enabled()) {
     // One distributed trace per run: the id rides on every Assign, workers
     // record under it, and their Result span buffers merge back here.
@@ -429,13 +493,40 @@ core::ParallelSimResult DistCoordinator::run(
   } else {
     trace_id_ = 0;
   }
-  const std::string welcome =
-      encode_welcome(session_, fp, RunConfig::from_options(opts), trace);
+  const RunConfig cfg = RunConfig::from_options(opts);
+  const WelcomeFrames welcome{
+      encode_welcome(session_, fp, cfg, trace, session_token_,
+                     kProtocolVersion),
+      encode_welcome(session_, fp, cfg, trace, 0, 3)};
 
   RunState rs;
   rs.plan = &plan;
   rs.fingerprint = fp;
   rs.shards.resize(plan.num_shards);
+
+  // One-shot resume feed: the journal's completed shards become cache
+  // entries, which the pre-pass below serves like any other hit (so replay
+  // hits count toward cluster.cache.hits and are never dispatched).
+  if (resume_.has_value()) {
+    if (resume_->fingerprint == fp) {
+      for (auto& [s, outcome] : resume_->results) {
+        if (s >= plan.num_shards) continue;
+        if (outcome.part_lo != plan.shard_lo(s) ||
+            outcome.part_hi != plan.shard_hi(s)) {
+          continue;  // a different ShardPlan journaled this shard index
+        }
+        cache_.insert({fp, s, plan.shard_lo(s), plan.shard_hi(s)},
+                      std::move(outcome));
+        ++stats_.journal_replayed;
+        obs::flight::record(session_, obs::flight::Event::kJournalReplayed, s);
+      }
+    }
+    resume_.reset();
+  }
+
+  if (journal_.enabled()) {
+    journal_.run_open(session_, fp, plan.num_shards, cfg);
+  }
 
   // Serve whatever the result cache already holds: a hit completes the
   // shard without dispatching it. Identical repeated runs finish here.
@@ -448,6 +539,14 @@ core::ParallelSimResult DistCoordinator::run(
         rs.shards[s].state = ShardState::kDone;
         ++rs.done;
         obs::flight::record(session_, obs::flight::Event::kCacheHit, s);
+        // Re-journal cache-served shards under this run-open so each
+        // journal section is self-contained: a second crash+resume keeps
+        // the shards the first resume inherited.
+        if (journal_.enabled()) {
+          journal_.result(
+              session_,
+              encode_result({session_, s, 0}, rs.shards[s].outcome));
+        }
       }
     }
   }
@@ -456,7 +555,8 @@ core::ParallelSimResult DistCoordinator::run(
   // is stale until they see this run's config and trace.
   for (auto& w : workers_) {
     try {
-      net::send_frame(w->conn, welcome);
+      net::send_frame(w->conn,
+                      w->version >= 4 ? welcome.v4 : welcome.legacy);
     } catch (const IoError&) {
       drop_worker(*w, rs);
     }
@@ -478,23 +578,57 @@ core::ParallelSimResult DistCoordinator::run(
                     std::to_string(rs.done) + "/" +
                     std::to_string(plan.num_shards) + " shards complete");
     }
-    if (workers_.size() >= opts_.min_workers) dispatching = true;
-    if (dispatching) {
-      assign_pending(rs);
-      rebalance(rs);
+    if (drain_requested_) {
+      // Draining: no new admissions or dispatches; in-flight shards may
+      // finish until the drain deadline, then the run closes regardless.
+      bool inflight = false;
+      for (const Shard& sh : rs.shards) {
+        if (sh.state == ShardState::kAssigned) {
+          inflight = true;
+          break;
+        }
+      }
+      if (!inflight || Clock::now() > drain_deadline_) finish_drain(rs);
+    } else {
+      if (workers_.size() >= opts_.min_workers) dispatching = true;
+      if (dispatching) {
+        assign_pending(rs);
+        rebalance(rs);
+      }
     }
 
+    // Once draining, the wake fd leaves the poll set: the request is level
+    // state, and a second signal never reaches the loop anyway (the handler
+    // _exits directly).
+    const bool has_wake = opts_.wake_fd >= 0 && !drain_requested_;
     std::vector<int> fds;
-    fds.reserve(workers_.size() + 1);
+    fds.reserve(workers_.size() + 2);
     fds.push_back(listener_.fd());
+    if (has_wake) fds.push_back(opts_.wake_fd);
     for (auto& w : workers_) fds.push_back(w->conn.fd());
     const std::vector<bool> ready = net::poll_readable(fds, opts_.poll_ms);
+    const std::size_t base = has_wake ? 2 : 1;
 
-    if (ready[0]) accept_joiners(welcome);
+    if (has_wake && ready[1] && !drain_requested_) {
+      // One readable byte = drain request (net::SignalPipe writes it from
+      // the SIGTERM/SIGINT handler). One bounded read — never a drain-to-
+      // EAGAIN loop, because the fd is allowed to be a plain blocking pipe.
+      char buf[64];
+      [[maybe_unused]] const ssize_t n =
+          ::read(opts_.wake_fd, buf, sizeof(buf));
+      drain_requested_ = true;
+      drain_deadline_ =
+          Clock::now() + std::chrono::milliseconds(opts_.drain_timeout_ms);
+      lifecycle_ = "draining";
+      MLSIM_COUNTER_ADD(obs::names::kDistDrainRequests, 1);
+      obs::flight::record(session_, obs::flight::Event::kDrainStarted,
+                          rs.done);
+    }
+    if (ready[0] && !drain_requested_) accept_joiners(welcome, rs);
     // accept_joiners may have appended workers the poll never saw; only the
-    // first fds.size()-1 entries have a ready bit.
-    for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-      if (ready[i + 1] && !workers_[i]->dead) {
+    // first fds.size()-base entries have a ready bit.
+    for (std::size_t i = 0; i + base < fds.size(); ++i) {
+      if (ready[i + base] && !workers_[i]->dead) {
         handle_frame(*workers_[i], rs);
       }
     }
@@ -523,6 +657,9 @@ core::ParallelSimResult DistCoordinator::run(
                            opts.record_context_counts);
   for (const Shard& s : rs.shards) merger.add(s.outcome);
   res = merger.finish(opts, /*predictor_flops=*/0);
+  if (journal_.enabled()) {
+    journal_.run_close(session_, RunJournal::kStatusComplete);
+  }
   if (obs::enabled()) {
     for (const auto& w : workers_) {
       MLSIM_HIST_RECORD(obs::names::kDistShardsPerWorker,
@@ -531,6 +668,28 @@ core::ParallelSimResult DistCoordinator::run(
   }
   refresh_health(&rs);
   return res;
+}
+
+void DistCoordinator::finish_drain(RunState& rs) {
+  std::size_t abandoned = 0;
+  for (const Shard& sh : rs.shards) {
+    if (sh.state != ShardState::kDone) ++abandoned;
+  }
+  MLSIM_COUNTER_ADD(obs::names::kDistDrainShardsAbandoned,
+                    static_cast<std::uint64_t>(abandoned));
+  // Run-close with the drained status: the journal section stays valid for
+  // `--resume`, which re-serves every result journaled above.
+  if (journal_.enabled()) {
+    journal_.run_close(session_, RunJournal::kStatusDrained);
+  }
+  refresh_health(&rs);
+  // Shutdown, not abandonment: workers get the same Shutdown frame a
+  // completed run would send, so they exit instead of burning their
+  // reconnect budgets against a closed coordinator.
+  shutdown_workers();
+  throw DrainError("drain requested: stopped with " + std::to_string(rs.done) +
+                   "/" + std::to_string(rs.shards.size()) +
+                   " shards complete; progress journaled for --resume");
 }
 
 void DistCoordinator::update_busy_gauge() {
@@ -553,6 +712,7 @@ void DistCoordinator::update_busy_gauge() {
 void DistCoordinator::refresh_health(const RunState* rs) {
   std::ostringstream os;
   os << "{\"status\":\"" << (rs != nullptr ? "running" : "idle")
+     << "\",\"lifecycle\":\"" << lifecycle_
      << "\",\"session\":" << session_
      << ",\"workers_connected\":" << workers_.size();
   if (rs != nullptr) {
@@ -588,7 +748,9 @@ void DistCoordinator::refresh_health(const RunState* rs) {
      << ",\"cache_hits\":" << cache_.hits()
      << ",\"cache_misses\":" << cache_.misses()
      << ",\"cache_evictions\":" << cache_.evictions()
-     << ",\"cache_entries\":" << cache_.entries() << "}}";
+     << ",\"cache_entries\":" << cache_.entries()
+     << ",\"workers_rejoined\":" << stats_.workers_rejoined
+     << ",\"journal_replayed\":" << stats_.journal_replayed << "}}";
   std::lock_guard lk(health_mu_);
   health_json_ = os.str();
   stats_snapshot_ = stats_;

@@ -16,10 +16,19 @@
 // slow workers or speculatively duplicated onto idle ones (first-result-
 // wins dedup keeps the merge exact), and completed outcomes are memoized in
 // a content-addressed result cache so repeated runs skip them entirely.
+//
+// The coordinator itself is crash-safe (docs/RESILIENCE.md "Crash-safe
+// coordination"): with a run journal configured, every assignment and
+// accepted result is fsynced before it takes effect, `resume` replays the
+// journal into the result cache so a restarted coordinator never
+// re-dispatches completed shards, protocol-v4 workers re-attach through the
+// Rejoin handshake, and a wake_fd byte (SIGTERM via net::SignalPipe) drains
+// the run gracefully instead of tearing it down.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "core/shard.h"
+#include "dist/journal.h"
 #include "dist/result_cache.h"
 #include "net/socket.h"
 #include "service/remote.h"
@@ -69,6 +79,26 @@ struct CoordinatorOptions {
   /// 0 disables. Keyed by (run fingerprint, shard descriptor), so repeated
   /// or retried runs of identical work dispatch nothing.
   std::size_t result_cache_entries = 0;
+
+  // ---- crash-safe coordination (docs/RESILIENCE.md) -------------------------
+  /// Write-ahead run journal path; empty disables journaling. Every
+  /// run-open / assignment / accepted result / run-close is appended and
+  /// fsynced, so a killed coordinator loses at most the record being
+  /// written.
+  std::filesystem::path journal_path;
+  /// Replay `journal_path` at construction and feed the completed shards of
+  /// its last run into the result cache: a rerun of the same work (same run
+  /// fingerprint) never re-dispatches them.
+  bool resume = false;
+  /// Replay treats a corrupt/truncated journal tail as fatal (CheckError)
+  /// instead of dropping it — mirrors the checkpoint strict mode.
+  bool journal_strict = false;
+  /// Readable fd the run loop polls alongside the sockets; one readable
+  /// byte requests a graceful drain (see net::SignalPipe). -1 disables.
+  int wake_fd = -1;
+  /// Once a drain is requested, in-flight shards get this long to finish
+  /// before the run closes anyway.
+  int drain_timeout_ms = 5000;
 };
 
 struct CoordinatorStats {
@@ -90,6 +120,10 @@ struct CoordinatorStats {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+  /// v4 Rejoin handshakes accepted (token matched the current run).
+  std::size_t workers_rejoined = 0;
+  /// Completed shards rebuilt from the journal by `resume`.
+  std::size_t journal_replayed = 0;
 };
 
 class DistCoordinator final : public service::RemoteBackend {
@@ -122,6 +156,12 @@ class DistCoordinator final : public service::RemoteBackend {
 
   /// Send Shutdown to every connected worker and drop the connections.
   void shutdown_workers();
+
+  /// True once a wake_fd byte requested a graceful drain. Run() then either
+  /// finished cleanly (every shard done before the request took effect) or
+  /// threw DrainError; either way the driver should exit with the drained
+  /// code.
+  bool drain_requested() const { return drain_requested_; }
 
   /// Thread-safe JSON snapshot of cluster state for the telemetry /healthz
   /// endpoint: session, shard progress, per-worker busy ratios, and run
@@ -178,7 +218,15 @@ class DistCoordinator final : public service::RemoteBackend {
     std::vector<double> latencies_us;
   };
 
-  void accept_joiners(const std::string& welcome);
+  /// The per-version Welcome frames of the current run: pre-v4 workers get
+  /// the byte-exact legacy payload (their strict decoders reject the v4
+  /// trailing session token).
+  struct WelcomeFrames {
+    std::string v4;
+    std::string legacy;
+  };
+
+  void accept_joiners(const WelcomeFrames& welcome, RunState& rs);
   void handle_frame(Worker& w, RunState& rs);
   void drop_worker(Worker& w, RunState& rs);
   /// Remove w from whichever side of its shard it holds: clears a spec slot,
@@ -196,6 +244,9 @@ class DistCoordinator final : public service::RemoteBackend {
   /// de-rated by its reported busy ratio; < 0 until any worker completed.
   double fleet_pace_us() const;
   void reap_dead_workers();
+  /// Close the drained run: journal run-close, count abandoned shards,
+  /// shut the workers down, and throw DrainError.
+  [[noreturn]] void finish_drain(RunState& rs);
   /// Rebuild the cluster_json document and the stats/worker-count snapshots
   /// (rs may be null between runs).
   void refresh_health(const RunState* rs);
@@ -205,8 +256,20 @@ class DistCoordinator final : public service::RemoteBackend {
   CoordinatorOptions opts_;
   CoordinatorStats stats_;
   ShardResultCache cache_;
+  RunJournal journal_;
+  /// Journal replay held from construction until the first run() consumes
+  /// it (the fingerprint is only known once the run's trace arrives).
+  std::optional<JournalReplay> resume_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t session_ = 0;
+  /// v4 rejoin token of the current run; derived from the run fingerprint,
+  /// so a restarted coordinator resuming the same work issues the identical
+  /// token and pre-restart workers can re-attach. 0 between runs.
+  std::uint64_t session_token_ = 0;
+  bool drain_requested_ = false;
+  Clock::time_point drain_deadline_{};
+  /// `lifecycle` field of cluster_json: starting|replaying|serving|draining.
+  const char* lifecycle_ = "starting";
   std::uint32_t next_worker_uid_ = 1;
   /// Distributed trace id of the current run (0 between runs).
   std::uint64_t trace_id_ = 0;

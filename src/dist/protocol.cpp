@@ -23,50 +23,6 @@ void expect_type(Reader& r, MsgType want, const std::string& context) {
         "unexpected message type " + std::to_string(got) + " from " + context);
 }
 
-void put_config(Writer& w, const RunConfig& c) {
-  w.pod(c.num_subtraces);
-  w.pod(c.num_gpus);
-  w.pod(c.context_length);
-  w.pod(c.warmup);
-  w.pod(c.post_error_correction);
-  w.pod(c.correction_limit);
-  w.pod(c.record_predictions);
-  w.pod(c.record_context_counts);
-  w.pod(c.anomaly_latency_limit);
-  w.pod(c.max_retries_per_partition);
-  w.pod(c.retry_backoff_us);
-  w.pod(c.faults_enabled);
-  w.pod(c.fault_seed);
-  w.pod(c.device_kill_rate);
-  w.pod(c.straggler_rate);
-  w.pod(c.straggler_slowdown);
-  w.pod(c.output_corrupt_rate);
-  w.pod(c.worker_kill_rate);
-}
-
-RunConfig get_config(Reader& r) {
-  RunConfig c;
-  c.num_subtraces = r.pod<std::uint64_t>();
-  c.num_gpus = r.pod<std::uint64_t>();
-  c.context_length = r.pod<std::uint64_t>();
-  c.warmup = r.pod<std::uint64_t>();
-  c.post_error_correction = r.pod<std::uint8_t>();
-  c.correction_limit = r.pod<std::uint64_t>();
-  c.record_predictions = r.pod<std::uint8_t>();
-  c.record_context_counts = r.pod<std::uint8_t>();
-  c.anomaly_latency_limit = r.pod<std::uint32_t>();
-  c.max_retries_per_partition = r.pod<std::uint64_t>();
-  c.retry_backoff_us = r.pod<double>();
-  c.faults_enabled = r.pod<std::uint8_t>();
-  c.fault_seed = r.pod<std::uint64_t>();
-  c.device_kill_rate = r.pod<double>();
-  c.straggler_rate = r.pod<double>();
-  c.straggler_slowdown = r.pod<double>();
-  c.output_corrupt_rate = r.pod<double>();
-  c.worker_kill_rate = r.pod<double>();
-  return c;
-}
-
 void put_outcome(Writer& w, const core::ShardOutcome& o) {
   w.pod(o.part_lo);
   w.pod(o.part_hi);
@@ -108,6 +64,50 @@ core::ShardOutcome get_outcome(Reader& r) {
 }
 
 }  // namespace
+
+void put_run_config(Writer& w, const RunConfig& c) {
+  w.pod(c.num_subtraces);
+  w.pod(c.num_gpus);
+  w.pod(c.context_length);
+  w.pod(c.warmup);
+  w.pod(c.post_error_correction);
+  w.pod(c.correction_limit);
+  w.pod(c.record_predictions);
+  w.pod(c.record_context_counts);
+  w.pod(c.anomaly_latency_limit);
+  w.pod(c.max_retries_per_partition);
+  w.pod(c.retry_backoff_us);
+  w.pod(c.faults_enabled);
+  w.pod(c.fault_seed);
+  w.pod(c.device_kill_rate);
+  w.pod(c.straggler_rate);
+  w.pod(c.straggler_slowdown);
+  w.pod(c.output_corrupt_rate);
+  w.pod(c.worker_kill_rate);
+}
+
+RunConfig get_run_config(Reader& r) {
+  RunConfig c;
+  c.num_subtraces = r.pod<std::uint64_t>();
+  c.num_gpus = r.pod<std::uint64_t>();
+  c.context_length = r.pod<std::uint64_t>();
+  c.warmup = r.pod<std::uint64_t>();
+  c.post_error_correction = r.pod<std::uint8_t>();
+  c.correction_limit = r.pod<std::uint64_t>();
+  c.record_predictions = r.pod<std::uint8_t>();
+  c.record_context_counts = r.pod<std::uint8_t>();
+  c.anomaly_latency_limit = r.pod<std::uint32_t>();
+  c.max_retries_per_partition = r.pod<std::uint64_t>();
+  c.retry_backoff_us = r.pod<double>();
+  c.faults_enabled = r.pod<std::uint8_t>();
+  c.fault_seed = r.pod<std::uint64_t>();
+  c.device_kill_rate = r.pod<double>();
+  c.straggler_rate = r.pod<double>();
+  c.straggler_slowdown = r.pod<double>();
+  c.output_corrupt_rate = r.pod<double>();
+  c.worker_kill_rate = r.pod<double>();
+  return c;
+}
 
 RunConfig RunConfig::from_options(const core::ParallelSimOptions& o) {
   RunConfig c;
@@ -168,7 +168,7 @@ MsgType peek_type(std::string_view payload, const std::string& context) {
   Reader r(payload, context);
   const auto t = r.pod<std::uint32_t>();
   check(t >= static_cast<std::uint32_t>(MsgType::kHello) &&
-            t <= static_cast<std::uint32_t>(MsgType::kGoodbye),
+            t <= static_cast<std::uint32_t>(MsgType::kRejoin),
         "unknown message type " + std::to_string(t) + " from " + context);
   return static_cast<MsgType>(t);
 }
@@ -182,17 +182,32 @@ std::string encode_hello(std::uint32_t protocol_version) {
 
 std::string encode_welcome(std::uint64_t session, std::uint64_t fingerprint,
                            const RunConfig& cfg,
-                           const trace::EncodedTrace& trace) {
+                           const trace::EncodedTrace& trace,
+                           std::uint64_t token,
+                           std::uint32_t protocol_version) {
   Writer w;
   put_type(w, MsgType::kWelcome);
   w.pod(session);
   w.pod(fingerprint);
-  put_config(w, cfg);
+  put_run_config(w, cfg);
   w.str(trace.benchmark());
   w.pod(static_cast<std::uint64_t>(trace.size()));
   w.pod(static_cast<std::uint8_t>(trace.labeled() ? 1 : 0));
   w.vec(trace.raw_features());
   w.vec(trace.raw_targets());
+  if (protocol_version >= 4) {
+    w.pod(token);
+  }
+  return w.take();
+}
+
+std::string encode_rejoin(const RejoinMsg& m) {
+  Writer w;
+  put_type(w, MsgType::kRejoin);
+  w.pod(m.version);
+  w.pod(m.token);
+  w.pod(m.session);
+  w.pod(m.shard);
   return w.take();
 }
 
@@ -296,12 +311,15 @@ WelcomeDecoded decode_welcome(std::string_view payload,
   WelcomeDecoded d;
   d.session = r.pod<std::uint64_t>();
   d.fingerprint = r.pod<std::uint64_t>();
-  d.config = get_config(r);
+  d.config = get_run_config(r);
   const std::string benchmark = r.str();
   const auto n = r.pod<std::uint64_t>();
   const auto labeled = r.pod<std::uint8_t>();
   const auto features = r.vec<std::int32_t>();
   const auto targets = r.vec<std::uint32_t>();
+  if (r.remaining() > 0) {  // v4 trailing session token
+    d.token = r.pod<std::uint64_t>();
+  }
   r.finish();
   check(features.size() == n * trace::kNumFeatures,
         "welcome trace feature matrix shape mismatch from " + context);
@@ -417,6 +435,18 @@ GoodbyeMsg decode_goodbye(std::string_view payload,
   Reader r(payload, context);
   expect_type(r, MsgType::kGoodbye, context);
   GoodbyeMsg m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
+  r.finish();
+  return m;
+}
+
+RejoinMsg decode_rejoin(std::string_view payload, const std::string& context) {
+  Reader r(payload, context);
+  expect_type(r, MsgType::kRejoin, context);
+  RejoinMsg m;
+  m.version = r.pod<std::uint32_t>();
+  m.token = r.pod<std::uint64_t>();
   m.session = r.pod<std::uint64_t>();
   m.shard = r.pod<std::uint64_t>();
   r.finish();

@@ -48,7 +48,16 @@ namespace mlsim::dist {
 /// its shard immediately instead of burning the heartbeat timeout. No
 /// existing message gains fields, so v1/v2 payloads stay byte-exact; pre-v3
 /// workers simply never say Goodbye and depart via the timeout path.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+///
+/// v4 (docs/DISTRIBUTED.md "Crash-safe coordination"): Welcome gains a
+/// trailing session token, and Rejoin is a Hello variant carrying that
+/// token plus the worker's in-flight shard. A worker whose connection
+/// drops mid-shard reconnects — possibly to a *restarted* coordinator —
+/// presents the token, and either re-delivers its finished Result or
+/// resumes the assignment. The token addition is a trailing optional
+/// field, so v1–v3 Welcome payloads stay byte-exact; pre-v4 workers fall
+/// back to a plain re-Hello and are treated as fresh joiners.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 enum class MsgType : std::uint32_t {
@@ -61,6 +70,7 @@ enum class MsgType : std::uint32_t {
   kShutdown = 7,
   kWorkerError = 8,
   kGoodbye = 9,
+  kRejoin = 10,
 };
 
 /// The ParallelSimOptions subset that determines shard *contents* (integer
@@ -169,14 +179,41 @@ struct GoodbyeMsg {
   std::uint64_t shard = 0;
 };
 
+/// v4: the reconnect handshake. Sent *instead of* Hello by a worker that
+/// already held a session: `token` proves it belonged to this run (the
+/// token is derived from the run fingerprint, so it survives a coordinator
+/// restart), `shard` names the assignment it still holds (kIdleShard when
+/// none). A matching token re-admits the worker and re-dispatches its
+/// in-flight shard immediately; a stale token demotes it to a fresh join.
+struct RejoinMsg {
+  std::uint32_t version = 0;
+  std::uint64_t token = 0;
+  /// Session id of the run the worker was attached to.
+  std::uint64_t session = 0;
+  /// In-flight shard at disconnect, or kIdleShard.
+  std::uint64_t shard = kIdleShard;
+};
+
 /// First u32 of a payload. Throws CheckError on an empty/unknown payload.
 MsgType peek_type(std::string_view payload, const std::string& context);
 
+/// RunConfig body codec, shared by the Welcome message and the run journal
+/// (dist/journal.*) so a journaled run-open replays with the exact wire
+/// semantics of the handshake.
+void put_run_config(wire::Writer& w, const RunConfig& c);
+RunConfig get_run_config(wire::Reader& r);
+
 // ---- encoders ---------------------------------------------------------------
 std::string encode_hello(std::uint32_t protocol_version);
+/// v4 appends `token` as a trailing optional field; passing
+/// `protocol_version` <= 3 reproduces the pre-v4 payload byte-exactly for
+/// workers whose strict decoders reject trailing bytes.
 std::string encode_welcome(std::uint64_t session, std::uint64_t fingerprint,
                            const RunConfig& cfg,
-                           const trace::EncodedTrace& trace);
+                           const trace::EncodedTrace& trace,
+                           std::uint64_t token = 0,
+                           std::uint32_t protocol_version = kProtocolVersion);
+std::string encode_rejoin(const RejoinMsg& m);
 std::string encode_reject(const std::string& reason);
 /// `protocol_version` selects the schema the *peer* speaks: a v2
 /// coordinator keeps sending byte-exact v1 payloads to v1 workers (whose
@@ -202,6 +239,9 @@ struct WelcomeDecoded {
   std::uint64_t fingerprint = 0;
   RunConfig config;
   trace::EncodedTrace trace;
+  // v4 trailing session token; 0 when a pre-v4 coordinator sent the
+  // welcome (0 is never issued, so workers treat it as "no rejoin").
+  std::uint64_t token = 0;
 };
 WelcomeDecoded decode_welcome(std::string_view payload,
                               const std::string& context);
@@ -222,5 +262,6 @@ WorkerErrorMsg decode_worker_error(std::string_view payload,
                                    const std::string& context);
 GoodbyeMsg decode_goodbye(std::string_view payload,
                           const std::string& context);
+RejoinMsg decode_rejoin(std::string_view payload, const std::string& context);
 
 }  // namespace mlsim::dist

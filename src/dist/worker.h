@@ -24,9 +24,12 @@ struct WorkerConfig {
   /// the cluster as a fresh worker — models a supervisor restarting the
   /// process. When false the worker stays dead, as a real SIGKILL would.
   bool reconnect_after_kill = true;
-  /// Connection attempts (20 ms apart) before giving up with IoError —
-  /// covers the races around coordinator startup and kill-reconnect.
-  int connect_attempts = 100;
+  /// Connection attempts per (re)connect before giving up with a typed
+  /// IoError. Attempt a sleeps min(10·2^a, 500) ms plus a deterministic
+  /// jitter drawn from (port, attempt) — bounded exponential backoff that
+  /// covers coordinator startup/restart races without a tight retry loop,
+  /// reproducibly (no global RNG).
+  int reconnect_budget = 10;
   /// Planned departure: after computing this many shards, announce Goodbye
   /// and leave — the coordinator requeues without waiting out the heartbeat
   /// timeout. 0 = stay until Shutdown (models scale-down / spot preemption
@@ -38,11 +41,18 @@ struct WorkerStats {
   std::size_t shards_computed = 0;
   std::size_t kills_simulated = 0;
   std::size_t sessions = 0;
+  /// v4 Rejoin handshakes sent after a transport loss mid-session.
+  std::size_t rejoins = 0;
 };
 
-/// Run a worker until the coordinator shuts it down or disconnects.
-/// Throws IoError when the coordinator is unreachable and CheckError when
-/// it Rejects the handshake (protocol version mismatch).
+/// Run a worker until the coordinator shuts it down (or, pre-v4, closes the
+/// connection). A v4 worker that loses its connection mid-session instead
+/// reconnects with backoff and presents its session token (Rejoin),
+/// re-delivering a finished Result or resuming its assignment — including
+/// against a *restarted* coordinator resuming the same run from its
+/// journal. Throws IoError when the coordinator is unreachable or the
+/// reconnect budget runs out, and CheckError when it Rejects the handshake
+/// (protocol version mismatch).
 WorkerStats run_worker(const WorkerConfig& cfg);
 
 }  // namespace mlsim::dist

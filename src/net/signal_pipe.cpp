@@ -1,0 +1,80 @@
+#include "net/signal_pipe.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mlsim::net {
+
+namespace {
+
+// Everything the handler touches is a lock-free atomic at file scope:
+// sigaction-installed handlers may run on any thread, concurrently with
+// install() only before the handlers are registered (install publishes the
+// write fd first).
+std::atomic<int> g_write_fd{-1};
+std::atomic<int> g_signal_count{0};
+std::atomic<int> g_last_signal{0};
+std::atomic<int> g_force_exit_code{1};
+
+extern "C" void mlsim_signal_handler(int signo) {
+  g_last_signal.store(signo, std::memory_order_relaxed);
+  const int count = g_signal_count.fetch_add(1, std::memory_order_acq_rel);
+  if (count >= 1) {
+    // Second signal: the drain is hung or the operator is impatient.
+    // _exit is async-signal-safe; nothing else here is allowed to be slow.
+    _exit(g_force_exit_code.load(std::memory_order_relaxed));
+  }
+  const int fd = g_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe means a wake-up is already pending — EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+SignalPipe::SignalPipe(int force_exit_code) {
+  int fds[2] = {-1, -1};
+  check(::pipe(fds) == 0,
+        std::string("signal pipe creation failed: ") + std::strerror(errno));
+  for (const int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  read_fd_ = fds[0];
+  g_force_exit_code.store(force_exit_code, std::memory_order_relaxed);
+  g_write_fd.store(fds[1], std::memory_order_release);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = mlsim_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART keeps unrelated slow syscalls (artifact reads, accept) from
+  // failing with EINTR; the poll loops wake via the pipe fd instead.
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+SignalPipe& SignalPipe::install(int force_exit_code) {
+  static SignalPipe instance(force_exit_code);
+  return instance;
+}
+
+bool SignalPipe::signalled() const {
+  return g_signal_count.load(std::memory_order_acquire) > 0;
+}
+
+int SignalPipe::last_signal() const {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace mlsim::net

@@ -1,0 +1,44 @@
+// Self-pipe bridge from SIGTERM/SIGINT to the poll loops (docs/RESILIENCE.md
+// "Crash-safe coordination").
+//
+// The classic problem: a signal can land on any thread at any instruction,
+// so the handler may do nothing but async-signal-safe work — no locks, no
+// allocation, no iostreams. The classic answer: the handler writes one byte
+// to a non-blocking pipe whose read end sits in the event loop's poll set.
+// The loop wakes, reads the byte, and runs the real drain logic in normal
+// context.
+//
+// Escalation is handled *inside* the handler because a hung drain must stay
+// interruptible: the first signal writes the pipe; a second signal calls
+// _exit with the configured code — no flushing, no destructors, gone.
+#pragma once
+
+namespace mlsim::net {
+
+/// Process-wide singleton (signal dispositions are process-wide state).
+/// `install()` is idempotent; the first call fixes the force-exit code.
+class SignalPipe {
+ public:
+  /// Install handlers for SIGTERM and SIGINT and return the singleton.
+  /// `force_exit_code` is what a second signal _exit()s with.
+  static SignalPipe& install(int force_exit_code);
+
+  /// Read end of the pipe: add to a poll set, or check `signalled()`.
+  /// Non-blocking — a reader can drain it with read() until EAGAIN.
+  int fd() const { return read_fd_; }
+
+  /// True once the first SIGTERM/SIGINT has landed.
+  bool signalled() const;
+
+  /// The last signal number delivered (0 before any).
+  int last_signal() const;
+
+  SignalPipe(const SignalPipe&) = delete;
+  SignalPipe& operator=(const SignalPipe&) = delete;
+
+ private:
+  SignalPipe(int force_exit_code);
+  int read_fd_ = -1;
+};
+
+}  // namespace mlsim::net

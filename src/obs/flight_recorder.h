@@ -42,6 +42,11 @@ enum class Event : std::uint32_t {
   kShardStolen,         // assigned shard rebalanced off a slow worker
   kShardSpeculated,     // straggling shard duplicated onto an idle worker
   kCacheHit,            // shard served from the result cache, not dispatched
+  // Crash-safe coordination events (docs/RESILIENCE.md), stamped by the
+  // coordinator under the run's session id.
+  kWorkerRejoined,      // v4 Rejoin accepted (detail = in-flight shard)
+  kJournalReplayed,     // shard rebuilt from the run journal (detail = shard)
+  kDrainStarted,        // SIGTERM/SIGINT drain begun (detail = shards done)
 };
 
 constexpr const char* to_string(Event ev) {
@@ -62,6 +67,9 @@ constexpr const char* to_string(Event ev) {
     case Event::kShardStolen: return "shard_stolen";
     case Event::kShardSpeculated: return "shard_speculated";
     case Event::kCacheHit: return "cache_hit";
+    case Event::kWorkerRejoined: return "worker_rejoined";
+    case Event::kJournalReplayed: return "journal_replayed";
+    case Event::kDrainStarted: return "drain_started";
   }
   return "unknown";
 }

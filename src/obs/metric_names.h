@@ -122,6 +122,27 @@ inline constexpr const char* kDistShardLatencyUs = "dist.shard_latency_us";
 inline constexpr const char* kDistShardsPerWorker = "dist.shards_per_worker";
 // Planned departures: workers that sent Goodbye instead of going silent.
 inline constexpr const char* kDistWorkersDeparted = "dist.workers_departed";
+// v4 Rejoin handshakes accepted: a worker re-attached to this (possibly
+// restarted) coordinator with a matching session token.
+inline constexpr const char* kDistWorkersRejoined = "dist.workers_rejoined";
+
+// -- crash-safe coordination (run journal + graceful drain, src/dist/;
+//    docs/RESILIENCE.md "Crash-safe coordination") ---------------------------
+// Records appended+fsynced to the run journal, and their total envelope
+// bytes.
+inline constexpr const char* kDistJournalRecords = "dist.journal.records";
+inline constexpr const char* kDistJournalBytes = "dist.journal.bytes";
+// Completed shard outcomes rebuilt by `--resume` journal replay.
+inline constexpr const char* kDistJournalReplayedResults =
+    "dist.journal.replayed_results";
+// Corrupt/truncated tail bytes dropped by a lenient replay.
+inline constexpr const char* kDistJournalDroppedBytes =
+    "dist.journal.dropped_bytes";
+// SIGTERM/SIGINT drains begun, and shards still unfinished when the drain
+// deadline closed the run.
+inline constexpr const char* kDistDrainRequests = "dist.drain.requests";
+inline constexpr const char* kDistDrainShardsAbandoned =
+    "dist.drain.shards_abandoned";
 
 // -- elastic cluster (work stealing, speculative straggler dispatch, and
 //    the shard-result cache, src/dist/; docs/DISTRIBUTED.md) -----------------
@@ -247,6 +268,13 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kDistShardLatencyUs, MetricKind::kHistogram},
     {kDistShardsPerWorker, MetricKind::kHistogram},
     {kDistWorkersDeparted, MetricKind::kCounter},
+    {kDistWorkersRejoined, MetricKind::kCounter},
+    {kDistJournalRecords, MetricKind::kCounter},
+    {kDistJournalBytes, MetricKind::kCounter},
+    {kDistJournalReplayedResults, MetricKind::kCounter},
+    {kDistJournalDroppedBytes, MetricKind::kCounter},
+    {kDistDrainRequests, MetricKind::kCounter},
+    {kDistDrainShardsAbandoned, MetricKind::kCounter},
     {kClusterStealShards, MetricKind::kCounter},
     {kClusterSpeculativeDispatched, MetricKind::kCounter},
     {kClusterSpeculativeWins, MetricKind::kCounter},

@@ -655,6 +655,7 @@ std::string SimulationService::health_json(std::size_t last_errors) const {
   }
   std::ostringstream os;
   os << "{\"status\":\"" << status << '"'
+     << ",\"lifecycle\":\"" << (stopping_ ? "draining" : "serving") << '"'
      << ",\"workers\":" << slots_.size() << ",\"busy\":" << busy_
      << ",\"queued\":" << queued
      << ",\"queue_capacity\":" << opts_.queue_capacity

@@ -154,8 +154,10 @@ class SimulationService {
   const BatchScheduler* batcher() const { return batcher_.get(); }
 
   /// Liveness/health snapshot as a single JSON object: overall status
-  /// ("ok" | "overloaded" | "degraded" | "stopping"), queue and worker
-  /// occupancy, breaker state, and the outcome counters. `last_errors > 0`
+  /// ("ok" | "overloaded" | "degraded" | "stopping"), a coarse `lifecycle`
+  /// phase ("serving" | "draining") for orchestrators that only need to
+  /// know whether to route new work here, queue and worker occupancy,
+  /// breaker state, and the outcome counters. `last_errors > 0`
   /// appends the flight-recorder event sequences of the N most recent
   /// bad-outcome requests (docs/OBSERVABILITY.md) — what the telemetry
   /// endpoint serves for /healthz?last_errors=N.

@@ -612,6 +612,97 @@ TEST(DistProtocol, GoodbyeRoundTrips) {
   EXPECT_EQ(decode_goodbye(encode_goodbye(idle), "test").shard, kIdleShard);
 }
 
+// ---- protocol v4 (rejoin token) --------------------------------------------
+
+TEST(DistProtocol, WelcomeTokenIsTrailingOptional) {
+  const auto tr = make_trace("xz", 2000);
+  RunConfig cfg;
+  cfg.num_subtraces = 4;
+  cfg.num_gpus = 2;
+
+  const std::string v4 = encode_welcome(11, 0xabcdULL, cfg, tr, 0x5eedULL);
+  const WelcomeDecoded d = decode_welcome(v4, "test");
+  EXPECT_EQ(d.session, 11u);
+  EXPECT_EQ(d.fingerprint, 0xabcdULL);
+  EXPECT_EQ(d.token, 0x5eedULL);
+
+  // A pre-v4 peer gets a byte-exact legacy payload — no token tail at all,
+  // even when one was supplied — and a v4 decoder defaults it to 0.
+  const std::string legacy = encode_welcome(11, 0xabcdULL, cfg, tr,
+                                            0x5eedULL, 3);
+  EXPECT_EQ(legacy.size() + 8, v4.size());
+  EXPECT_EQ(legacy, v4.substr(0, legacy.size()));
+  EXPECT_EQ(decode_welcome(legacy, "test").token, 0u);
+}
+
+TEST(DistProtocol, RejoinRoundTrips) {
+  RejoinMsg m;
+  m.version = kProtocolVersion;
+  m.token = 0xfeedbeefULL;
+  m.session = 42;
+  m.shard = 7;
+  const std::string payload = encode_rejoin(m);
+  EXPECT_EQ(peek_type(payload, "test"), MsgType::kRejoin);
+  const RejoinMsg d = decode_rejoin(payload, "test");
+  EXPECT_EQ(d.version, kProtocolVersion);
+  EXPECT_EQ(d.token, 0xfeedbeefULL);
+  EXPECT_EQ(d.session, 42u);
+  EXPECT_EQ(d.shard, 7u);
+}
+
+TEST(Dist, RejoiningWorkerReattachesAndRunStaysBitIdentical) {
+  // A scripted v4 worker takes a shard, drops its connection mid-flight,
+  // then reconnects with the session token (Rejoin) and finishes the run.
+  const auto tr = make_trace("xz", 8000);
+  const auto opts = base_options(4, 2);  // 2 shards
+  const auto local = local_reference(tr, opts);
+
+  CoordinatorOptions co;
+  co.heartbeat_timeout_ms = 30000;
+  co.poll_ms = 10;
+  auto coord = std::make_unique<DistCoordinator>(net::TcpListener::bind(0), co);
+  std::thread fake([port = coord->port()] {
+    try {
+      auto s = fake_join(port);
+      EXPECT_NE(s->welcome.token, 0u);
+      const AssignMsg a = fake_await_assign(*s);
+      s->conn.abort();  // transport loss mid-shard, no Result delivered
+
+      // Re-attach: same token, the in-flight shard declared.
+      auto r = std::make_unique<FakeSession>();
+      r->conn = net::TcpConn::connect("127.0.0.1", port);
+      net::send_frame(r->conn, encode_rejoin({kProtocolVersion,
+                                              s->welcome.token,
+                                              s->welcome.session, a.shard}));
+      std::string payload;
+      while (true) {
+        if (!net::recv_frame(r->conn, payload)) {
+          throw IoError("coordinator closed during rejoin");
+        }
+        if (peek_type(payload, "fake") == MsgType::kWelcome) break;
+      }
+      r->welcome = decode_welcome(payload, "fake");
+      EXPECT_EQ(r->welcome.token, s->welcome.token);
+      r->opts = r->welcome.config.to_options(nullptr);
+      r->plan = core::ShardPlan::make(r->welcome.trace.size(), r->opts);
+      for (int shard = 0; shard < 2; ++shard) {
+        const AssignMsg b = fake_await_assign(*r);
+        net::send_frame(r->conn, encode_result({b.session, b.shard, b.attempt},
+                                               fake_compute(*r, b)));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } catch (const IoError&) {
+    }
+  });
+
+  const auto out = coord->run(tr, opts);
+  expect_identical(local, out);
+  EXPECT_GE(coord->stats().workers_rejoined, 1u);
+  EXPECT_EQ(coord->stats().shards_completed, 2u);
+  coord.reset();
+  fake.join();
+}
+
 TEST(Dist, V1WorkerCompletesRunAndGetsV1Frames) {
   // End-to-end backward compatibility: a worker that Hellos with protocol
   // v1 joins, receives byte-exact v1 Assigns (no trace context even though

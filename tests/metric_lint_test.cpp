@@ -153,6 +153,23 @@ TEST(MetricLint, ElasticityAndQuotaMetricsAreDeclared) {
   }
 }
 
+TEST(MetricLint, CrashSafeCoordinationMetricsAreDeclared) {
+  // The crash-safe coordination schema (docs/RESILIENCE.md "Crash-safe
+  // coordination"): journal durability, resume replay, and drain behaviour
+  // are monitored through these names.
+  std::set<std::string> names;
+  for (const auto& [constant, name] : declared_constants()) {
+    names.insert(name);
+  }
+  for (const char* required :
+       {"dist.workers_rejoined", "dist.journal.records", "dist.journal.bytes",
+        "dist.journal.replayed_results", "dist.journal.dropped_bytes",
+        "dist.drain.requests", "dist.drain.shards_abandoned"}) {
+    EXPECT_EQ(names.count(required), 1u)
+        << "expected metric '" << required << "' to be declared";
+  }
+}
+
 TEST(MetricLint, NoRawStringLiteralsAtInstrumentationSites) {
   // Every MLSIM_COUNTER_ADD / MLSIM_GAUGE_SET / MLSIM_HIST_RECORD call site
   // must name a metric via a constant; a quoted first argument bypasses the
