@@ -2,43 +2,45 @@
 // (Table IV): changing the L2 only changes the input trace (hit-level
 // features), so the same predictor is reused across configurations. Paper:
 // wrf CPI improves up to 1MB then flattens — 1MB is the pick.
+//
+// Driven by the sweep engine (docs/SWEEPS.md): the five sizes are one
+// l2.size_kb axis, and each point's CPI is bit-identical to simulating that
+// configuration standalone.
 #include "bench_util.h"
-#include "core/analytic_predictor.h"
-#include "core/metrics.h"
-#include "core/parallel_sim.h"
+#include "sweep/sweep.h"
 
 using namespace mlsim;
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::parse(argc, argv, 300000);
   const std::string abbr = args.benchmark.empty() ? "wrf" : args.benchmark;
-  const std::size_t ctx = 64;
   bench::banner("Fig. 21: L2 size design-space exploration (no retraining)",
                 "benchmark " + abbr + ", " + std::to_string(args.instructions) +
                     " instructions; only the trace is regenerated per point");
 
-  core::AnalyticPredictor pred;  // same predictor for every configuration
+  sweep::SweepSpec spec;
+  spec.benchmark = abbr;
+  spec.instructions = args.instructions;
+  spec.axes.push_back({"l2.size_kb", {"256", "512", "1024", "2048", "4096"}});
+  sweep::SweepOptions so;
+  so.num_subtraces = 1;  // the figure's sequential-reference configuration
+  so.context_length = 64;
+  so.recovery = false;
+  const auto report = sweep::run_sweep(spec, so);
+
   Table t({"L2 size", "ML CPI", "truth CPI", "ML delta vs prev %"});
   double prev_ml = 0;
   double best_gain = 0;
   std::string best_size;
-  for (const std::size_t kb : {256, 512, 1024, 2048, 4096}) {
-    uarch::MachineConfig m;
-    m.l2.size_bytes = static_cast<std::uint32_t>(kb * 1024);
-    const auto tr = core::labeled_trace(abbr, args.instructions, m);
-    core::ParallelSimOptions o;
-    o.num_subtraces = 1;
-    o.context_length = ctx;
-    core::ParallelSimulator sim(pred, o);
-    const double ml = sim.run(tr).cpi();
-    const double truth = static_cast<double>(core::total_cycles_from_targets(tr)) /
-                         static_cast<double>(tr.size());
+  for (const auto& p : report.points) {
+    const double ml = p.cpi;
+    const std::string size_label = p.point.settings[0].second + "KB";
     const double delta = prev_ml > 0 ? (prev_ml - ml) / prev_ml * 100.0 : 0.0;
     if (prev_ml > 0 && delta > best_gain) {
       best_gain = delta;
-      best_size = std::to_string(kb) + "KB";
+      best_size = size_label;
     }
-    t.add_row({std::to_string(kb) + "KB", ml, truth, delta});
+    t.add_row({size_label, ml, p.truth_cpi, delta});
     prev_ml = ml;
   }
   t.set_precision(3);

@@ -6,9 +6,13 @@
 //
 //   mlsim_cli simulate <benchmark|trace.bin> [instructions]
 //              [--parallel=P] [--gpus=G] [--context=C] [--no-recovery]
+//              [--set key=value]...
 //       Run the ML simulator (single optimised device, or the parallel
 //       scheme when --parallel is given) and report CPI, error vs ground
-//       truth, and modeled throughput.
+//       truth, and modeled throughput. --set applies one machine-config
+//       axis (same keys as sweep --axis; docs/SWEEPS.md) to the generated
+//       trace — e.g. --set l2.size_kb=512 --set l1d.replacement=drrip —
+//       and therefore requires a benchmark, not a trace file.
 //       Fault tolerance (parallel mode only; docs/RESILIENCE.md):
 //         --fault-kill=R / --fault-corrupt=R / --fault-straggler=R
 //             inject device kills / corrupted inference outputs / stragglers
@@ -88,6 +92,27 @@
 //       (default 5000) to finish, and the process exits 6 (a second signal
 //       force-exits 7).
 //
+//   mlsim_cli sweep <benchmark> [instructions] | --spec=FILE
+//              [--axis key=v1,v2,...]... [--parallel=P] [--gpus=G]
+//              [--context=C] [--no-recovery] [--seed=S]
+//              [--pareto] [--top=N] [--json[=path]]
+//              [--port=N] [--workers=W] [--heartbeat-ms=M] [--timeout-ms=T]
+//              [--steal] [--result-cache[=N]] [--repeat=N]
+//       Design-space exploration (docs/SWEEPS.md): expand a config lattice
+//       (the cartesian product of the --axis value lists, or a spec file;
+//       both may be combined as long as no axis repeats) over one shared
+//       workload, simulate every point — only the trace is regenerated per
+//       point; the predictor is reused, and each point's CPI is
+//       bit-identical to `simulate` of that configuration — and rank the
+//       Pareto frontier over (CPI, area proxy) plus per-axis sensitivity.
+//       --pareto prints frontier points only; --top=N the N best by CPI;
+//       --json emits the full report as JSON (stdout, or to `path`).
+//       With --workers=W the points fan out through a cluster coordinator
+//       (same flags as the coordinator command); one point = one run
+//       fingerprint, so with --result-cache a repeated lattice (--repeat=N,
+//       or re-running the command against long-lived workers) dispatches
+//       zero shards. --telemetry-port serves sweep progress in /healthz.
+//
 // Observability (simulate/suite/stream; see docs/OBSERVABILITY.md):
 //   --metrics[=path]     enable the metrics registry; print a per-phase
 //                        breakdown and the registry dump (text to stdout, or
@@ -107,6 +132,8 @@
 // files), 4 corrupt data or violated invariant (CheckError), 5 any other
 // internal error, 6 graceful drain after SIGTERM/SIGINT (progress journaled
 // — not a failure), 7 forced exit on a second signal.
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -117,6 +144,7 @@
 #include <future>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -136,6 +164,7 @@
 #include "obs/obs.h"
 #include "obs/telemetry_http.h"
 #include "service/service.h"
+#include "sweep/sweep.h"
 #include "trace/stream.h"
 
 using namespace mlsim;
@@ -329,6 +358,29 @@ trace::EncodedTrace acquire(const std::string& what, std::size_t n) {
   return core::labeled_trace(what, n == 0 ? 200000 : n);
 }
 
+/// Split a "key=value" / "key=v1,v2,..." flag operand. The axis registry
+/// does the semantic validation; this only rejects a missing '='.
+std::pair<std::string, std::string> split_axis_flag(const char* what,
+                                                    const std::string& s) {
+  const auto eq = s.find('=');
+  if (eq == std::string::npos || eq == 0 || eq == s.size() - 1) {
+    throw UsageError(std::string(what) + ": '" + s +
+                     "' is not of the form key=value");
+  }
+  return {s.substr(0, eq), s.substr(eq + 1)};
+}
+
+/// Lattice validation errors on the command line are *usage* errors (exit
+/// 2), not corrupt data (4): the run never started.
+template <typename F>
+void validate_as_usage(F&& f) {
+  try {
+    f();
+  } catch (const CheckError& e) {
+    throw UsageError(e.what());
+  }
+}
+
 int cmd_trace(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr, "usage: mlsim_cli trace <benchmark> <instructions> [out.bin]\n");
@@ -355,7 +407,7 @@ int cmd_simulate(int argc, char** argv) {
                          "[--context=C] [--no-recovery] [--fault-kill=R] "
                          "[--fault-corrupt=R] [--fault-straggler=R] "
                          "[--fault-seed=S] [--retries=N] [--checkpoint[=path]] "
-                         "[--resume] [--metrics[=path]] "
+                         "[--resume] [--set key=value]... [--metrics[=path]] "
                          "[--trace-out=file.json]\n");
     return 2;
   }
@@ -365,11 +417,18 @@ int cmd_simulate(int argc, char** argv) {
   device::FaultOptions fault;
   fault.seed = 1;
   bool any_fault = false;
+  std::vector<std::pair<std::string, std::string>> sets;
   ObsFlags obs_flags;
   for (int i = 3; i < argc; ++i) {
     const std::string s = argv[i];
     if (s.rfind("--parallel=", 0) == 0) {
       parallel = parse_size("--parallel", s.substr(11));
+    }
+    else if (s == "--set") {
+      if (i + 1 >= argc) throw UsageError("--set needs a key=value operand");
+      sets.push_back(split_axis_flag("--set", argv[++i]));
+    } else if (s.rfind("--set=", 0) == 0) {
+      sets.push_back(split_axis_flag("--set", s.substr(6)));
     }
     else if (s.rfind("--gpus=", 0) == 0) gpus = parse_size("--gpus", s.substr(7));
     else if (s.rfind("--context=", 0) == 0) {
@@ -411,8 +470,26 @@ int cmd_simulate(int argc, char** argv) {
                          "simulation feature)\n");
     return 2;
   }
+  // --set alters the machine the *trace* is generated with; the predictor
+  // and engine path stay identical (docs/SWEEPS.md), which is what makes a
+  // sweep point bit-identical to this command.
+  uarch::MachineConfig machine;
+  if (!sets.empty()) {
+    if (std::filesystem::exists(argv[2])) {
+      throw UsageError("--set regenerates the trace for the modified machine "
+                       "and needs a benchmark name, not a trace file");
+    }
+    validate_as_usage([&] {
+      for (const auto& [key, value] : sets) {
+        sweep::apply_axis(machine, key, value);
+      }
+    });
+  }
   enable_obs(obs_flags);
-  const auto tr = acquire(argv[2], n);
+  const auto tr = sets.empty()
+                      ? acquire(argv[2], n)
+                      : core::labeled_trace(argv[2], n == 0 ? 200000 : n,
+                                            machine);
   core::MLSimulator::Options opts;
   opts.context_length = context;
   core::MLSimulator sim(opts);
@@ -440,9 +517,13 @@ int cmd_simulate(int argc, char** argv) {
       po.resume = resume;
     }
     const auto out = sim.simulate_parallel(tr, po);
+    // The exact cycle total is what `sweep --json` reports per point, so a
+    // single standalone run can be checked bit-identical against a sweep row.
     std::printf("parallel (%zu sub-traces, %zu GPUs, recovery %s): CPI %.4f | "
-                "err vs truth %+.2f%% | %.2f MIPS (modeled) | corrected %zu\n",
+                "%llu cycles | err vs truth %+.2f%% | %.2f MIPS (modeled) | "
+                "corrected %zu\n",
                 parallel, gpus, recovery ? "on" : "off", out.cpi(),
+                static_cast<unsigned long long>(out.total_cycles),
                 tr.labeled() ? sim.cpi_error_percent(tr, out.cpi()) : 0.0,
                 out.mips(), out.corrected_instructions);
     if (any_fault || out.resumed) {
@@ -1056,13 +1137,356 @@ int cmd_serve(int argc, char** argv) {
   return drained ? kExitDrained : 0;
 }
 
+/// Serialize a sweep report as JSON (stable field order, lattice order).
+std::string sweep_report_json(const sweep::SweepSpec& spec,
+                              const sweep::SweepReport& report) {
+  std::ostringstream os;
+  os << "{\"benchmark\":\"" << spec.benchmark << '"'
+     << ",\"instructions\":" << spec.instructions
+     << ",\"points\":[";
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const auto& p = report.points[i];
+    if (i > 0) os << ',';
+    os << "{\"index\":" << p.point.index << ",\"settings\":{";
+    for (std::size_t j = 0; j < p.point.settings.size(); ++j) {
+      if (j > 0) os << ',';
+      os << '"' << p.point.settings[j].first << "\":\""
+         << p.point.settings[j].second << '"';
+    }
+    os << "},\"cpi\":" << p.cpi << ",\"truth_cpi\":" << p.truth_cpi
+       << ",\"area\":" << p.area << ",\"total_cycles\":" << p.total_cycles
+       << ",\"on_frontier\":" << (p.on_frontier ? "true" : "false") << '}';
+  }
+  os << "],\"frontier\":[";
+  for (std::size_t i = 0; i < report.frontier.size(); ++i) {
+    if (i > 0) os << ',';
+    os << report.frontier[i];
+  }
+  os << "],\"sensitivity\":[";
+  for (std::size_t i = 0; i < report.sensitivity.size(); ++i) {
+    const auto& s = report.sensitivity[i];
+    if (i > 0) os << ',';
+    os << "{\"axis\":\"" << s.key << "\",\"span\":" << s.span
+       << ",\"mean_cpi\":{";
+    for (std::size_t j = 0; j < s.values.size(); ++j) {
+      if (j > 0) os << ',';
+      os << '"' << s.values[j] << "\":" << s.mean_cpi[j];
+    }
+    os << "}}";
+  }
+  os << "],\"elapsed_s\":" << report.elapsed_s
+     << ",\"points_per_sec\":" << report.points_per_sec << '}';
+  return os.str();
+}
+
+/// Design-space exploration: expand a config lattice, simulate every point
+/// (locally or through a worker cluster), rank the Pareto frontier.
+int cmd_sweep(int argc, char** argv) {
+  ObsFlags obs_flags;
+  std::vector<std::string> pos;
+  std::string spec_path;
+  std::vector<sweep::SweepAxis> axes;
+  std::size_t parallel = 4, gpus = 1, context = 64;
+  bool recovery = true;
+  std::uint64_t seed = 1;
+  bool pareto_only = false;
+  std::size_t top = 0;
+  bool json = false;
+  std::string json_path;
+  std::uint16_t port = 0;
+  std::size_t workers = 0;
+  int heartbeat_timeout_ms = 2000, run_timeout_ms = 120000;
+  bool steal = false;
+  std::size_t result_cache = 0;
+  std::size_t repeat = 1;
+  bool have_telemetry = false;
+  std::uint16_t telemetry_port = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (parse_obs_flag(s, obs_flags)) continue;
+    if (s.rfind("--spec=", 0) == 0) {
+      spec_path = s.substr(7);
+      if (spec_path.empty()) throw UsageError("--spec needs a path");
+    } else if (s == "--axis") {
+      if (i + 1 >= argc) {
+        throw UsageError("--axis needs a key=v1,v2,... operand");
+      }
+      const auto [key, values] = split_axis_flag("--axis", argv[++i]);
+      sweep::SweepAxis ax;
+      ax.key = key;
+      std::size_t start = 0;
+      while (start <= values.size()) {
+        const auto comma = values.find(',', start);
+        const std::string v = values.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start);
+        if (v.empty()) {
+          throw UsageError("--axis " + key + ": empty value in list");
+        }
+        ax.values.push_back(v);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      axes.push_back(std::move(ax));
+    } else if (s.rfind("--axis=", 0) == 0) {
+      throw UsageError("--axis takes a separate operand: "
+                       "--axis key=v1,v2,...");
+    } else if (s.rfind("--parallel=", 0) == 0) {
+      parallel = static_cast<std::size_t>(
+          parse_positive("--parallel", s.substr(11)));
+    } else if (s.rfind("--gpus=", 0) == 0) {
+      gpus = static_cast<std::size_t>(parse_positive("--gpus", s.substr(7)));
+    } else if (s.rfind("--context=", 0) == 0) {
+      context = static_cast<std::size_t>(
+          parse_positive("--context", s.substr(10)));
+    } else if (s == "--no-recovery") {
+      recovery = false;
+    } else if (s.rfind("--seed=", 0) == 0) {
+      seed = parse_u64("--seed", s.substr(7));
+    } else if (s == "--pareto") {
+      pareto_only = true;
+    } else if (s.rfind("--top=", 0) == 0) {
+      top = static_cast<std::size_t>(parse_positive("--top", s.substr(6)));
+    } else if (s == "--json") {
+      json = true;
+    } else if (s.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = s.substr(7);
+      if (json_path.empty()) throw UsageError("--json= needs a path");
+    } else if (s.rfind("--port=", 0) == 0) {
+      port = parse_port("--port", s.substr(7));
+    } else if (s.rfind("--workers=", 0) == 0) {
+      workers =
+          static_cast<std::size_t>(parse_positive("--workers", s.substr(10)));
+    } else if (s.rfind("--heartbeat-ms=", 0) == 0) {
+      heartbeat_timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_positive("--heartbeat-ms", s.substr(15)),
+          std::numeric_limits<int>::max()));
+    } else if (s.rfind("--timeout-ms=", 0) == 0) {
+      run_timeout_ms = static_cast<int>(std::min<std::uint64_t>(
+          parse_u64("--timeout-ms", s.substr(13)),
+          std::numeric_limits<int>::max()));
+    } else if (s == "--steal") {
+      steal = true;
+    } else if (s == "--result-cache") {
+      result_cache = 1024;
+    } else if (s.rfind("--result-cache=", 0) == 0) {
+      result_cache = static_cast<std::size_t>(
+          parse_positive("--result-cache", s.substr(15)));
+    } else if (s.rfind("--repeat=", 0) == 0) {
+      repeat = static_cast<std::size_t>(
+          parse_positive("--repeat", s.substr(9)));
+    } else if (s.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = parse_port("--telemetry-port", s.substr(17));
+      have_telemetry = true;
+    } else if (!s.empty() && s[0] != '-') {
+      pos.push_back(s);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", s.c_str());
+      return 2;
+    }
+  }
+
+  if (spec_path.empty() && pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: mlsim_cli sweep <benchmark> [instructions] | "
+                 "--spec=FILE [--axis key=v1,v2,...]... [--parallel=P] "
+                 "[--gpus=G] [--context=C] [--no-recovery] [--seed=S] "
+                 "[--pareto] [--top=N] [--json[=path]] [--port=N] "
+                 "[--workers=W] [--heartbeat-ms=M] [--timeout-ms=T] "
+                 "[--steal] [--result-cache[=N]] [--repeat=N] "
+                 "[--telemetry-port=N] [--metrics[=path]] "
+                 "[--trace-out=file.json]\n");
+    return 2;
+  }
+  if (!spec_path.empty() && !pos.empty()) {
+    throw UsageError("--spec and a positional benchmark are mutually "
+                     "exclusive (put benchmark/instructions in the spec "
+                     "file)");
+  }
+  if (pos.size() > 2) {
+    throw UsageError("sweep takes at most two positionals: <benchmark> "
+                     "[instructions]");
+  }
+  if (result_cache > 0 && workers == 0) {
+    throw UsageError("--result-cache is the coordinator's shard cache and "
+                     "requires --workers=W");
+  }
+
+  sweep::SweepSpec spec;
+  if (!spec_path.empty()) {
+    spec = sweep::load_spec_text(spec_path);
+  } else {
+    spec.benchmark = pos[0];
+    spec.instructions =
+        pos.size() > 1 ? parse_size("[instructions]", pos[1]) : 200000;
+  }
+  for (auto& ax : axes) spec.axes.push_back(std::move(ax));
+  // Strict up-front validation: an unknown axis, a duplicate (including a
+  // --axis colliding with a spec-file axis), or an unparsable value — e.g.
+  // an unimplemented replacement policy — is a usage error (exit 2), caught
+  // before any simulation work runs.
+  validate_as_usage([&] { sweep::validate_spec(spec); });
+
+  enable_obs(obs_flags);
+
+  sweep::SweepOptions so;
+  so.num_subtraces = parallel;
+  so.num_gpus = gpus;
+  so.context_length = context;
+  so.recovery = recovery;
+  so.seed = seed;
+
+  // Sweep progress for /healthz: plain atomics the telemetry thread reads.
+  std::atomic<std::size_t> points_done{0};
+  std::atomic<std::size_t> iterations_done{0};
+  const std::size_t points_total = spec.points();
+  so.progress = [&points_done](std::size_t done, std::size_t) {
+    points_done.store(done, std::memory_order_relaxed);
+  };
+
+  obs::TelemetryServer telemetry;
+  if (have_telemetry) {
+    if (obs::kCompiledIn && !obs::enabled()) obs::set_enabled(true);
+    obs::TelemetryOptions to;
+    to.port = telemetry_port;
+    to.health = [&points_done, &iterations_done, points_total,
+                 repeat](std::size_t) {
+      std::ostringstream os;
+      os << "{\"status\":\"ok\",\"sweep\":{\"points_total\":" << points_total
+         << ",\"points_done\":"
+         << points_done.load(std::memory_order_relaxed)
+         << ",\"iterations_done\":"
+         << iterations_done.load(std::memory_order_relaxed)
+         << ",\"iterations\":" << repeat << "}}";
+      return os.str();
+    };
+    if (telemetry.start(std::move(to))) {
+      std::printf("telemetry on http://127.0.0.1:%u/metrics (also /healthz, "
+                  "/tracez)\n", telemetry.port());
+    } else {
+      std::fprintf(stderr, "note: built with MLSIM_OBS_DISABLE=ON; "
+                           "--telemetry-port is inert\n");
+    }
+  }
+
+  std::optional<dist::DistCoordinator> coord;
+  if (workers > 0) {
+    dist::CoordinatorOptions co;
+    co.min_workers = workers;
+    co.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    co.run_timeout_ms = run_timeout_ms;
+    co.steal = steal;
+    co.result_cache_entries = result_cache;
+    coord.emplace(net::TcpListener::bind(port), co);
+    so.remote = &*coord;
+    std::printf("sweep coordinator listening on 127.0.0.1:%u — waiting for "
+                "%zu worker(s); join with:\n  mlsim_cli worker "
+                "--connect=127.0.0.1:%u\n",
+                coord->port(), workers, coord->port());
+  }
+  std::printf("sweeping %s: %zu point(s) across %zu axis/axes, %zu "
+              "instructions each%s\n",
+              spec.benchmark.c_str(), points_total, spec.axes.size(),
+              spec.instructions, workers > 0 ? " (distributed)" : "");
+  std::fflush(stdout);
+
+  sweep::SweepReport report;
+  for (std::size_t it = 0; it < repeat; ++it) {
+    std::size_t dispatched0 = 0, cache_hits0 = 0;
+    if (coord.has_value()) {
+      dispatched0 = coord->stats().shards_dispatched;
+      cache_hits0 = coord->stats().cache_hits;
+    }
+    points_done.store(0, std::memory_order_relaxed);
+    report = sweep::run_sweep(spec, so);
+    iterations_done.store(it + 1, std::memory_order_relaxed);
+    if (repeat > 1 || coord.has_value()) {
+      std::printf("iteration %zu/%zu: %zu points in %.3f s (%.2f points/s)",
+                  it + 1, repeat, report.points.size(), report.elapsed_s,
+                  report.points_per_sec);
+      if (coord.has_value()) {
+        const auto& st = coord->stats();
+        std::printf(" | +%zu shard(s) dispatched, +%zu cache hit(s)",
+                    st.shards_dispatched - dispatched0,
+                    st.cache_hits - cache_hits0);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  if (coord.has_value()) coord->shutdown_workers();
+
+  if (json) {
+    const std::string body = sweep_report_json(spec, report);
+    if (json_path.empty()) {
+      std::printf("%s\n", body.c_str());
+    } else {
+      std::ofstream os(json_path);
+      if (!os.is_open()) {
+        throw IoError("cannot write sweep report to " + json_path);
+      }
+      os << body << '\n';
+      std::printf("[sweep report written to %s]\n", json_path.c_str());
+    }
+  } else {
+    // Row selection: frontier only (--pareto), N best by CPI (--top), or
+    // the whole lattice in row-major order.
+    std::vector<std::size_t> rows;
+    if (pareto_only) {
+      rows = report.frontier;
+    } else {
+      rows.resize(report.points.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    }
+    if (top > 0) {
+      std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+        if (report.points[a].cpi != report.points[b].cpi) {
+          return report.points[a].cpi < report.points[b].cpi;
+        }
+        return a < b;
+      });
+      if (rows.size() > top) rows.resize(top);
+    }
+    Table t({"point", "ML CPI", "truth CPI", "area (kc)", "pareto"});
+    for (const std::size_t i : rows) {
+      const auto& p = report.points[i];
+      const std::string label =
+          p.point.settings.empty() ? "(base)" : p.point.label();
+      t.add_row({label, p.cpi, p.truth_cpi, p.area,
+                 std::string(p.on_frontier ? "*" : "")});
+    }
+    t.set_precision(4);
+    t.print(std::cout);
+    if (!report.sensitivity.empty()) {
+      Table s({"axis", "CPI span", "best value (lowest mean CPI)"});
+      for (const auto& ax : report.sensitivity) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < ax.mean_cpi.size(); ++j) {
+          if (ax.mean_cpi[j] < ax.mean_cpi[best]) best = j;
+        }
+        s.add_row({ax.key, ax.span,
+                   ax.values.empty() ? std::string() : ax.values[best]});
+      }
+      s.set_precision(4);
+      s.print(std::cout);
+    }
+    std::printf("%zu point(s) | %zu on the Pareto frontier | %.3f s | "
+                "%.2f points/s\n",
+                report.points.size(), report.frontier.size(),
+                report.elapsed_s, report.points_per_sec);
+  }
+  finish_obs(obs_flags);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: mlsim_cli <trace|simulate|suite|rates|stream|serve|"
-                 "coordinator|worker> ...\n");
+                 "usage: mlsim_cli <trace|simulate|sweep|suite|rates|stream|"
+                 "serve|coordinator|worker> ...\n");
     return 2;
   }
   // Distinct exit codes per failure class so scripts and the test harness
@@ -1072,6 +1496,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "trace") return cmd_trace(argc, argv);
     if (cmd == "simulate") return cmd_simulate(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
     if (cmd == "suite") return cmd_suite(argc, argv);
     if (cmd == "rates") return cmd_rates(argc, argv);
     if (cmd == "stream") return cmd_stream(argc, argv);

@@ -19,14 +19,19 @@ std::uint64_t run_fingerprint(const trace::EncodedTrace& tr,
   auto mixd = [&](double d) { mix(std::bit_cast<std::uint64_t>(d)); };
   mix(tr.size());
   for (const char c : tr.benchmark()) mix(static_cast<unsigned char>(c));
-  if (tr.size() > 0) {
-    for (const std::int32_t v : tr.features(0)) {
-      mix(static_cast<std::uint32_t>(v));
-    }
-    for (const std::int32_t v : tr.features(tr.size() - 1)) {
-      mix(static_cast<std::uint32_t>(v));
-    }
+  // Hash every feature and label, not a sample. The fingerprint keys the
+  // shard-result cache and the run journal: two traces over the same
+  // benchmark that differ only in mid-trace hit-level features (exactly what
+  // a sweep axis over cache geometry produces — first and last instructions
+  // typically coincide) must not collide, or a cached result from one config
+  // is silently served for another. Results depend on the labels too
+  // (warmup + post-error correction read ground truth), so they are mixed in
+  // as well. Cost is one pass over data the caller is about to encode or
+  // simulate anyway.
+  for (const std::int32_t v : tr.raw_features()) {
+    mix(static_cast<std::uint32_t>(v));
   }
+  for (const std::uint32_t v : tr.raw_targets()) mix(v);
   mix(parts);
   mix(o.num_gpus);
   mix(o.context_length);

@@ -11,7 +11,10 @@ namespace mlsim::core {
 
 namespace {
 std::uint64_t machine_fingerprint(const uarch::MachineConfig& m) {
-  // Cheap structural hash over the fields that affect traces/labels.
+  // Structural hash over every field that can change traces/labels. The
+  // sweep subsystem keys the trace artifact cache with this, so any field a
+  // sweep axis can touch MUST be mixed in — an omission makes two distinct
+  // configurations share one cached trace.
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -19,24 +22,39 @@ std::uint64_t machine_fingerprint(const uarch::MachineConfig& m) {
   };
   mix(m.core.fetch_width);
   mix(m.core.issue_width);
+  mix(m.core.commit_width);
   mix(m.core.iq_entries);
   mix(m.core.rob_entries);
   mix(m.core.lq_entries);
   mix(m.core.sq_entries);
-  mix(m.l1i.size_bytes);
-  mix(m.l1i.assoc);
-  mix(m.l1d.size_bytes);
-  mix(m.l1d.assoc);
-  mix(m.l2.size_bytes);
-  mix(m.l2.assoc);
+  mix(m.core.frontend_depth);
+  const auto mix_cache = [&](const uarch::CacheConfig& c) {
+    mix(c.size_bytes);
+    mix(c.assoc);
+    mix(c.line_bytes);
+    mix(c.mshrs);
+    mix(c.latency);
+    mix(static_cast<std::uint64_t>(c.replacement) |
+        (static_cast<std::uint64_t>(c.next_line_prefetch) << 8));
+  };
+  mix_cache(m.l1i);
+  mix_cache(m.l1d);
+  mix_cache(m.l2);
+  mix(m.tlb.l1_entries);
+  mix(m.tlb.l2_entries);
+  mix(m.tlb.l2_assoc);
+  mix(m.tlb.mshrs);
+  mix(m.tlb.l2_latency);
+  mix(m.tlb.walk_latency);
+  mix(m.tlb.page_bytes);
   mix(static_cast<std::uint64_t>(m.bp.kind));
   mix(m.bp.choice_bits);
+  mix(m.bp.direction_bits);
+  mix(m.bp.history_bits);
+  mix(m.bp.local_history_entries);
   mix(m.bp.btb_entries);
+  mix(m.bp.mispredict_penalty);
   mix(m.memory_latency);
-  mix(static_cast<std::uint64_t>(m.l1d.replacement) |
-      (static_cast<std::uint64_t>(m.l2.replacement) << 8) |
-      (static_cast<std::uint64_t>(m.l1d.next_line_prefetch) << 16) |
-      (static_cast<std::uint64_t>(m.l2.next_line_prefetch) << 17));
   return h;
 }
 }  // namespace

@@ -494,10 +494,6 @@ core::ParallelSimResult DistCoordinator::run(
     trace_id_ = 0;
   }
   const RunConfig cfg = RunConfig::from_options(opts);
-  const WelcomeFrames welcome{
-      encode_welcome(session_, fp, cfg, trace, session_token_,
-                     kProtocolVersion),
-      encode_welcome(session_, fp, cfg, trace, 0, 3)};
 
   RunState rs;
   rs.plan = &plan;
@@ -551,17 +547,29 @@ core::ParallelSimResult DistCoordinator::run(
     }
   }
 
-  // Re-welcome workers that joined in a previous run: their session state
-  // is stale until they see this run's config and trace.
-  for (auto& w : workers_) {
-    try {
-      net::send_frame(w->conn,
-                      w->version >= 4 ? welcome.v4 : welcome.legacy);
-    } catch (const IoError&) {
-      drop_worker(*w, rs);
+  // A fully cache-served run skips the cluster entirely: encoding the
+  // Welcome (two copies of the trace) and broadcasting it to every worker
+  // would otherwise make a zero-dispatch re-run scale with the fleet size.
+  // Workers keep their stale session state; the next dispatching run
+  // re-welcomes them.
+  WelcomeFrames welcome;
+  if (rs.done < plan.num_shards) {
+    welcome = WelcomeFrames{
+        encode_welcome(session_, fp, cfg, trace, session_token_,
+                       kProtocolVersion),
+        encode_welcome(session_, fp, cfg, trace, 0, 3)};
+    // Re-welcome workers that joined in a previous run: their session state
+    // is stale until they see this run's config and trace.
+    for (auto& w : workers_) {
+      try {
+        net::send_frame(w->conn,
+                        w->version >= 4 ? welcome.v4 : welcome.legacy);
+      } catch (const IoError&) {
+        drop_worker(*w, rs);
+      }
     }
+    reap_dead_workers();
   }
-  reap_dead_workers();
 
   const auto started = Clock::now();
   const auto deadline =

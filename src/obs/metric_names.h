@@ -180,6 +180,23 @@ inline constexpr const char* kClusterWorkerDegraded =
 inline constexpr const char* kClusterWorkerBusyRatio =
     "cluster.worker.busy_ratio";
 
+// -- sweep (design-space-exploration engine, src/sweep/ and the service
+//    gateway in src/service/sweep.cpp; docs/SWEEPS.md) -----------------------
+// Sweeps started (one per lattice), and their per-point outcome counters.
+inline constexpr const char* kSweepRequests = "sweep.requests";
+inline constexpr const char* kSweepPointsTotal = "sweep.points_total";
+inline constexpr const char* kSweepPointsCompleted = "sweep.points_completed";
+// Service-path admission outcomes: points turned away typed (queue/quota/
+// shedding/deadline) vs points that ran and failed.
+inline constexpr const char* kSweepPointsRejected = "sweep.points_rejected";
+inline constexpr const char* kSweepPointsFailed = "sweep.points_failed";
+// Wall time per completed sweep point (trace acquisition + simulation).
+inline constexpr const char* kSweepPointNs = "sweep.point_ns";
+// Sweeps currently executing, and the Pareto-frontier size of the most
+// recently completed sweep.
+inline constexpr const char* kSweepActive = "sweep.active";
+inline constexpr const char* kSweepParetoSize = "sweep.pareto_size";
+
 // -- telemetry (HTTP endpoint, src/obs/telemetry_http.cpp) -------------------
 inline constexpr const char* kTelemetryHttpRequests = "telemetry.http_requests";
 inline constexpr const char* kTelemetryHttpErrors = "telemetry.http_errors";
@@ -288,6 +305,14 @@ inline constexpr BuiltinMetric kBuiltinMetrics[] = {
     {kClusterWorkerAnomalies, MetricKind::kCounter},
     {kClusterWorkerDegraded, MetricKind::kCounter},
     {kClusterWorkerBusyRatio, MetricKind::kGauge},
+    {kSweepRequests, MetricKind::kCounter},
+    {kSweepPointsTotal, MetricKind::kCounter},
+    {kSweepPointsCompleted, MetricKind::kCounter},
+    {kSweepPointsRejected, MetricKind::kCounter},
+    {kSweepPointsFailed, MetricKind::kCounter},
+    {kSweepPointNs, MetricKind::kHistogram},
+    {kSweepActive, MetricKind::kGauge},
+    {kSweepParetoSize, MetricKind::kGauge},
     {kTelemetryHttpRequests, MetricKind::kCounter},
     {kTelemetryHttpErrors, MetricKind::kCounter},
 };

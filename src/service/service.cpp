@@ -117,6 +117,18 @@ void SimulationService::shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
+  // Sweep orchestrators first, while the workers still run: their
+  // outstanding point requests drain through the queue, and any submission
+  // they attempt after this point resolves kCancelled immediately, so every
+  // sweep future resolves before a worker goes away.
+  std::vector<std::thread> sweeps;
+  {
+    std::lock_guard lk(mu_);
+    sweeps.swap(sweep_threads_);
+  }
+  for (auto& t : sweeps) {
+    if (t.joinable()) t.join();
+  }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -675,7 +687,12 @@ std::string SimulationService::health_json(std::size_t last_errors) const {
      << ",\"cancelled\":" << stats_.cancelled << ",\"hung\":" << stats_.hung
      << ",\"hangs_detected\":" << stats_.hangs_detected
      << ",\"hang_requeues\":" << stats_.hang_requeues
-     << ",\"degraded\":" << stats_.degraded;
+     << ",\"degraded\":" << stats_.degraded
+     << ",\"sweeps\":{\"submitted\":" << sweeps_submitted_
+     << ",\"active\":" << sweeps_active_
+     << ",\"completed\":" << sweeps_completed_
+     << ",\"points_total\":" << sweep_points_total_
+     << ",\"points_done\":" << sweep_points_done_ << '}';
   if (last_errors > 0) {
     os << ",\"last_errors\":" << obs::flight::last_errors_json(last_errors);
   }

@@ -1,0 +1,179 @@
+#include "sweep/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "common/check.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "obs/metric_names.h"
+#include "obs/obs.h"
+
+namespace mlsim::sweep {
+
+namespace {
+
+/// Sweeps concurrently active in this process (drives the sweep.active gauge).
+std::atomic<std::int64_t> g_active{0};
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double area_proxy(const uarch::MachineConfig& m) {
+  // Kilo-cells. SRAM capacity dominates; tag/assoc, OoO window structures,
+  // the issue crossbar (quadratic in width), and the BTB contribute the
+  // rest. Deterministic and monotone in every axis so Pareto ranking over
+  // (CPI, area) is stable.
+  const auto cache_cells = [](const uarch::CacheConfig& c) {
+    const double kb = static_cast<double>(c.size_bytes) / 1024.0;
+    return kb * 8.0 + static_cast<double>(c.assoc) * 2.0 +
+           static_cast<double>(c.mshrs) * 0.5;
+  };
+  double cells = cache_cells(m.l1i) + cache_cells(m.l1d) + cache_cells(m.l2);
+  cells += static_cast<double>(m.core.rob_entries) * 1.5;
+  cells += static_cast<double>(m.core.iq_entries) * 1.0;
+  cells += static_cast<double>(m.core.lq_entries + m.core.sq_entries) * 1.0;
+  cells += static_cast<double>(m.core.issue_width) *
+           static_cast<double>(m.core.issue_width) * 4.0;
+  cells += static_cast<double>(m.bp.btb_entries) * 0.06;
+  cells += static_cast<double>(1ull << m.bp.history_bits) * 0.002;
+  cells += static_cast<double>(m.tlb.l1_entries + m.tlb.l2_entries) * 0.25;
+  return cells;
+}
+
+void rank_report(SweepReport& report, const SweepSpec& spec) {
+  auto& pts = report.points;
+  for (auto& p : pts) {
+    p.area = area_proxy(p.point.machine);
+    p.on_frontier = false;
+  }
+
+  // Pareto frontier, minimising (CPI, area): point i is dominated when some
+  // j is no worse on both objectives and strictly better on one. O(n^2) is
+  // fine at lattice scale.
+  report.frontier.clear();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool no_worse =
+          pts[j].cpi <= pts[i].cpi && pts[j].area <= pts[i].area;
+      const bool strictly_better =
+          pts[j].cpi < pts[i].cpi || pts[j].area < pts[i].area;
+      dominated = no_worse && strictly_better;
+    }
+    if (!dominated) {
+      pts[i].on_frontier = true;
+      report.frontier.push_back(i);
+    }
+  }
+  std::sort(report.frontier.begin(), report.frontier.end(),
+            [&pts](std::size_t a, std::size_t b) {
+              if (pts[a].cpi != pts[b].cpi) return pts[a].cpi < pts[b].cpi;
+              return pts[a].area < pts[b].area;
+            });
+
+  // Per-axis sensitivity: mean CPI per value, marginalised over the other
+  // axes; the span says how much the axis moves CPI at all.
+  report.sensitivity.clear();
+  for (const auto& ax : spec.axes) {
+    AxisSensitivity s;
+    s.key = ax.key;
+    s.values = ax.values;
+    for (const auto& value : ax.values) {
+      std::vector<double> cpis;
+      for (const auto& p : pts) {
+        for (const auto& [k, v] : p.point.settings) {
+          if (k == ax.key && v == value) {
+            cpis.push_back(p.cpi);
+            break;
+          }
+        }
+      }
+      s.mean_cpi.push_back(mean(cpis));
+    }
+    if (!s.mean_cpi.empty()) {
+      const auto [lo, hi] =
+          std::minmax_element(s.mean_cpi.begin(), s.mean_cpi.end());
+      s.span = *hi - *lo;
+    }
+    report.sensitivity.push_back(std::move(s));
+  }
+}
+
+SweepReport run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
+  const std::vector<SweepPoint> points = expand_lattice(spec, opts.base);
+  MLSIM_COUNTER_ADD(obs::names::kSweepRequests, 1);
+  MLSIM_COUNTER_ADD(obs::names::kSweepPointsTotal,
+                    static_cast<std::int64_t>(points.size()));
+  MLSIM_GAUGE_SET(obs::names::kSweepActive,
+                  static_cast<double>(g_active.fetch_add(1) + 1));
+
+  SweepReport report;
+  report.points.reserve(points.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    for (const SweepPoint& pt : points) {
+      const auto p0 = std::chrono::steady_clock::now();
+      // Only the trace regenerates per point; the predictor stays the one
+      // trained on the default machine (paper Table IV: configuration
+      // changes alter the hit-level features, not the model).
+      const trace::EncodedTrace tr =
+          core::labeled_trace(spec.benchmark, spec.instructions, pt.machine,
+                              opts.seed, opts.use_trace_cache);
+      core::MLSimulator::Options mo;
+      mo.context_length = opts.context_length;
+      core::MLSimulator sim(mo);
+      core::ParallelSimOptions po = sim.parallel_options(
+          opts.num_subtraces, opts.num_gpus, opts.recovery, opts.recovery);
+      po.cancel = opts.cancel;
+      const core::ParallelSimResult r =
+          opts.remote != nullptr ? opts.remote->run_remote(tr, po)
+                                 : sim.simulate_parallel(tr, po);
+
+      SweepPointResult pr;
+      pr.point = pt;
+      pr.cpi = r.cpi();
+      pr.total_cycles = r.total_cycles;
+      pr.instructions = r.instructions;
+      pr.truth_cpi = static_cast<double>(core::total_cycles_from_targets(tr)) /
+                     static_cast<double>(tr.size());
+      report.points.push_back(std::move(pr));
+
+      const auto p1 = std::chrono::steady_clock::now();
+      MLSIM_HIST_RECORD(
+          obs::names::kSweepPointNs,
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(p1 - p0)
+                  .count()));
+      MLSIM_COUNTER_ADD(obs::names::kSweepPointsCompleted, 1);
+      if (opts.progress) opts.progress(report.points.size(), points.size());
+    }
+  } catch (...) {
+    MLSIM_GAUGE_SET(obs::names::kSweepActive,
+                    static_cast<double>(g_active.fetch_sub(1) - 1));
+    throw;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  MLSIM_GAUGE_SET(obs::names::kSweepActive,
+                  static_cast<double>(g_active.fetch_sub(1) - 1));
+
+  rank_report(report, spec);
+  report.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  report.points_per_sec = report.elapsed_s > 0.0
+                              ? static_cast<double>(report.points.size()) /
+                                    report.elapsed_s
+                              : 0.0;
+  MLSIM_GAUGE_SET(obs::names::kSweepParetoSize,
+                  static_cast<double>(report.frontier.size()));
+  return report;
+}
+
+}  // namespace mlsim::sweep

@@ -8,11 +8,21 @@ namespace mlsim::uarch {
 
 /// Replacement policy (Table IV lists it among the parameters explorable
 /// without retraining — changing it only changes the trace's hit levels).
+/// Constructing a Cache with a value outside this list is a typed
+/// CheckError, never a silent fallback to LRU.
 enum class ReplacementPolicy : std::uint8_t {
   kLru = 0,   // true LRU (paper's Table II configuration)
   kFifo,      // evict oldest fill
   kRandom,    // pseudo-random victim (deterministic hash of the access)
+  kDip,       // set-dueling LRU vs bimodal insertion (BIP), PSEL-selected
+  kDrrip,     // 2-bit RRIP with SRRIP/BRRIP set dueling
+  kArc,       // adaptive recency/frequency split with per-set ghost lists
 };
+
+/// Lowercase flag/spec spelling ("lru", "dip", ...).
+const char* to_string(ReplacementPolicy p);
+/// Parse the to_string spelling; throws CheckError on anything else.
+ReplacementPolicy replacement_policy_from_string(const std::string& s);
 
 struct CacheConfig {
   std::uint32_t size_bytes = 32 * 1024;

@@ -170,6 +170,23 @@ TEST(MetricLint, CrashSafeCoordinationMetricsAreDeclared) {
   }
 }
 
+TEST(MetricLint, SweepMetricsAreDeclared) {
+  // The design-space-exploration sweep schema (docs/SWEEPS.md): lattice
+  // fan-out progress, per-point latency, and Pareto output are monitored
+  // through these names.
+  std::set<std::string> names;
+  for (const auto& [constant, name] : declared_constants()) {
+    names.insert(name);
+  }
+  for (const char* required :
+       {"sweep.requests", "sweep.points_total", "sweep.points_completed",
+        "sweep.points_rejected", "sweep.points_failed", "sweep.point_ns",
+        "sweep.active", "sweep.pareto_size"}) {
+    EXPECT_EQ(names.count(required), 1u)
+        << "expected metric '" << required << "' to be declared";
+  }
+}
+
 TEST(MetricLint, NoRawStringLiteralsAtInstrumentationSites) {
   // Every MLSIM_COUNTER_ADD / MLSIM_GAUGE_SET / MLSIM_HIST_RECORD call site
   // must name a metric via a constant; a quoted first argument bypasses the
